@@ -1,0 +1,89 @@
+// Command chef-replay re-executes generated test cases on the vanilla
+// interpreter (the paper's replay mode: confirm results on the host and
+// measure line coverage).
+//
+// Usage:
+//
+//	chef-replay -in tests.ndjson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chef/internal/minilua"
+	"chef/internal/minipy"
+	"chef/internal/packages"
+	"chef/internal/symtest"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "NDJSON test file written by cmd/chef")
+		stepCap = flag.Int64("steplimit", 60_000, "per-run hang threshold")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "chef-replay: -in is required")
+		os.Exit(1)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chef-replay: %v\n", err)
+		os.Exit(1)
+	}
+	tests, err := symtest.UnmarshalTests(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chef-replay: %v\n", err)
+		os.Exit(1)
+	}
+	covered := map[int]bool{}
+	confirmed, mismatched := 0, 0
+	var pkgName string
+	var coverable int
+	for _, tc := range tests {
+		p, ok := packages.ByName(tc.Package)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "chef-replay: unknown package %q\n", tc.Package)
+			os.Exit(1)
+		}
+		pkgName = p.Name
+		coverable = p.CoverableLOC()
+		input, err := symtest.DecodeInput(tc.Input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chef-replay: %v\n", err)
+			os.Exit(1)
+		}
+		var rep symtest.ReplayResult
+		if p.Lang == packages.Python {
+			rep = p.PyTest(minipy.Vanilla).Replay(input, *stepCap)
+		} else {
+			rep = p.LuaTest(minilua.Vanilla).Replay(input, *stepCap)
+		}
+		for l := range rep.Lines {
+			covered[l] = true
+		}
+		match := rep.Result == tc.Result
+		// Hang statuses compare through the recorded engine status.
+		if tc.Status == "hang" && rep.Result == "hang" {
+			match = true
+		}
+		if match {
+			confirmed++
+		} else {
+			mismatched++
+			fmt.Printf("MISMATCH: recorded %q, replayed %q (%s)\n", tc.Result, rep.Result,
+				symtest.InputString(input, p.Inputs))
+		}
+	}
+	fmt.Printf("replayed %d tests for %s: %d confirmed, %d mismatched\n",
+		len(tests), pkgName, confirmed, mismatched)
+	if coverable > 0 {
+		fmt.Printf("line coverage: %d/%d lines (%.1f%%)\n",
+			len(covered), coverable, 100*float64(len(covered))/float64(coverable))
+	}
+	if mismatched > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+// Command chef runs a symbolic test against one of the evaluation packages
+// and emits the generated high-level test cases, playing the role of the
+// CHEF invocation in the paper's workflow (Figure 4: symbolic test in, test
+// cases out).
+//
+// Usage:
+//
+//	chef -package simplejson -strategy cupa-path -budget 3000000 -out tests.ndjson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chef/internal/chef"
+	"chef/internal/minilua"
+	"chef/internal/minipy"
+	"chef/internal/packages"
+	"chef/internal/symtest"
+)
+
+func main() {
+	var (
+		pkgName  = flag.String("package", "simplejson", "target package (see -list)")
+		list     = flag.Bool("list", false, "list available packages")
+		strategy = flag.String("strategy", "cupa-path", "state selection: random | cupa-path | cupa-coverage | dfs | bfs")
+		budget   = flag.Int64("budget", 3_000_000, "virtual-time exploration budget")
+		stepCap  = flag.Int64("steplimit", 60_000, "per-run hang threshold (virtual steps)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		vanilla  = flag.Bool("vanilla", false, "use the unoptimized interpreter build")
+		out      = flag.String("out", "", "write generated tests as NDJSON to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range packages.All() {
+			fmt.Printf("%-14s %-7s %5d LOC  %s\n", p.Name, p.Lang, p.LOC(), p.Desc)
+		}
+		return
+	}
+	p, ok := packages.ByName(*pkgName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "chef: unknown package %q (try -list)\n", *pkgName)
+		os.Exit(1)
+	}
+	strat, ok := parseStrategy(*strategy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "chef: unknown strategy %q\n", *strategy)
+		os.Exit(1)
+	}
+
+	opts := chef.Options{Strategy: strat, Seed: *seed, StepLimit: *stepCap}
+	var prog chef.TestProgram
+	pyCfg, luaCfg := minipy.Optimized, minilua.Optimized
+	if *vanilla {
+		pyCfg, luaCfg = minipy.Vanilla, minilua.Vanilla
+	}
+	if p.Lang == packages.Python {
+		prog = p.PyTest(pyCfg).Program()
+	} else {
+		prog = p.LuaTest(luaCfg).Program()
+	}
+
+	session := chef.NewSession(prog, opts)
+	tests := session.Run(*budget)
+	st := session.Engine().Stats()
+	fmt.Printf("package %s: %d high-level tests from %d low-level paths (%d runs, %d solver-unsat states, clock %d)\n",
+		p.Name, len(tests), st.LLPaths, st.Runs, st.UnsatStates, session.Engine().Clock())
+
+	serialized := make([]symtest.SerializedTest, 0, len(tests))
+	for _, tc := range tests {
+		serialized = append(serialized, symtest.SerializedTest{
+			Package: p.Name,
+			Result:  tc.Result,
+			Status:  tc.Status.String(),
+			Input:   symtest.EncodeInput(tc.Input),
+		})
+	}
+	symtest.SortTests(serialized)
+	for _, tc := range serialized {
+		fmt.Printf("  %-28s %s\n", tc.Result, renderInput(p, tc))
+	}
+	if *out != "" {
+		data, err := symtest.MarshalTests(serialized)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chef: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "chef: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d tests to %s\n", len(serialized), *out)
+	}
+}
+
+func parseStrategy(s string) (chef.StrategyKind, bool) {
+	switch s {
+	case "random":
+		return chef.StrategyRandom, true
+	case "cupa-path":
+		return chef.StrategyCUPAPath, true
+	case "cupa-coverage":
+		return chef.StrategyCUPACoverage, true
+	case "dfs":
+		return chef.StrategyDFS, true
+	case "bfs":
+		return chef.StrategyBFS, true
+	}
+	return 0, false
+}
+
+func renderInput(p *packages.Package, tc symtest.SerializedTest) string {
+	in, err := symtest.DecodeInput(tc.Input)
+	if err != nil {
+		return "?"
+	}
+	return symtest.InputString(in, p.Inputs)
+}
+

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"chef/internal/chef"
+	"chef/internal/packages"
+	"chef/internal/symtest"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]chef.StrategyKind{
+		"random":        chef.StrategyRandom,
+		"cupa-path":     chef.StrategyCUPAPath,
+		"cupa-coverage": chef.StrategyCUPACoverage,
+		"dfs":           chef.StrategyDFS,
+		"bfs":           chef.StrategyBFS,
+	}
+	for name, want := range cases {
+		got, ok := parseStrategy(name)
+		if !ok || got != want {
+			t.Errorf("parseStrategy(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := parseStrategy("nonsense"); ok {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRenderInput(t *testing.T) {
+	p, _ := packages.ByName("unicodecsv")
+	tc := symtest.SerializedTest{
+		Package: "unicodecsv",
+		Input:   map[string]uint64{"line[0]:8": 'a', "line[1]:8": ',', "line[2]:8": 'b'},
+	}
+	got := renderInput(p, tc)
+	if got != `line="a,b\x00\x00\x00"` {
+		t.Errorf("renderInput = %q", got)
+	}
+	if renderInput(p, symtest.SerializedTest{Input: map[string]uint64{"bad": 1}}) != "?" {
+		t.Error("bad input should render as ?")
+	}
+}

@@ -1,0 +1,3 @@
+module chef
+
+go 1.22

@@ -1,0 +1,533 @@
+// Package chef implements the CHEF platform of the paper: it turns an
+// instrumented interpreter (packaged as a Program over the guest API) into a
+// symbolic execution engine for the interpreter's target language.
+//
+// The package provides:
+//   - the guest API of Table 1 (log_pc, make_symbolic, assume, concretize,
+//     upper_bound, is_symbolic, start/end_symbolic) via Ctx;
+//   - the high-level execution tree and dynamically discovered high-level
+//     CFG, including the branching-opcode inference of §3.4;
+//   - the session loop that drives the low-level engine under a virtual-time
+//     budget and distills unique high-level paths into test cases.
+package chef
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"chef/internal/cupa"
+	"chef/internal/lowlevel"
+	"chef/internal/solver"
+	"chef/internal/symexpr"
+)
+
+// HLPC is a high-level program counter: an opaque identifier of a statement
+// or bytecode instruction of the target program, as reported by the
+// interpreter through log_pc.
+type HLPC = uint64
+
+// StrategyKind selects the state-selection strategy of a session.
+type StrategyKind uint8
+
+// Available strategies. The four configurations of §6.3 are
+// StrategyRandom (baseline) and the two CUPA instantiations.
+const (
+	StrategyRandom StrategyKind = iota
+	StrategyCUPAPath
+	StrategyCUPACoverage
+	StrategyDFS
+	StrategyBFS
+)
+
+func (k StrategyKind) String() string {
+	switch k {
+	case StrategyRandom:
+		return "random"
+	case StrategyCUPAPath:
+		return "cupa-path"
+	case StrategyCUPACoverage:
+		return "cupa-coverage"
+	case StrategyDFS:
+		return "dfs"
+	case StrategyBFS:
+		return "bfs"
+	default:
+		return "unknown"
+	}
+}
+
+// TestProgram is a symbolic test packaged for CHEF: one full run of the
+// interpreter over the target program, reading symbolic inputs and reporting
+// high-level locations through the Ctx guest API.
+type TestProgram func(ctx *Ctx)
+
+// Options configure a session.
+type Options struct {
+	Strategy StrategyKind
+	// StrategyFactory, when non-nil, overrides Strategy with a custom
+	// state-selection strategy (used by the ablation benches to build CUPA
+	// variants). It receives the session's RNG and discovered CFG.
+	StrategyFactory func(rng *rand.Rand, cfg *CFG) lowlevel.Strategy
+	// Seed drives all randomized decisions of the session.
+	Seed int64
+	// StepLimit is the per-run hang threshold (the paper's 60 s timeout).
+	StepLimit int64
+	// SolverOptions are passed through to the constraint solver.
+	SolverOptions solver.Options
+	// ForkWeightDecay is the p of §3.4; 0 means the paper's 0.75.
+	ForkWeightDecay float64
+}
+
+// TestCase is one generated high-level test case: a concrete input
+// assignment that drives the target program down a distinct high-level path.
+type TestCase struct {
+	Input    symexpr.Assignment
+	HLSig    uint64 // signature of the high-level path
+	HLLen    int    // number of high-level instructions executed
+	Status   lowlevel.RunStatus
+	Result   string // interpreter-reported outcome ("ok", "exception:...", ...)
+	VirtTime int64  // virtual time at which the test was generated
+}
+
+// SamplePoint records exploration progress for the time-series analyses
+// (Fig. 10).
+type SamplePoint struct {
+	VirtTime int64
+	LLPaths  int64
+	HLPaths  int64
+}
+
+// Session is one symbolic execution run of a target program.
+type Session struct {
+	opts Options
+	prog TestProgram
+	eng  *lowlevel.Engine
+	rng  *rand.Rand
+
+	// High-level execution tree: nodes are (parent, hlpc) pairs.
+	hlNodes map[hlEdge]uint64
+	nextHL  uint64
+
+	cfg *CFG
+
+	hlPaths map[uint64]bool
+	tests   []TestCase
+	series  []SamplePoint
+
+	cur *Ctx // context of the run in progress
+}
+
+type hlEdge struct {
+	parent uint64
+	hlpc   HLPC
+}
+
+// NewSession builds a session for the given symbolic test.
+func NewSession(prog TestProgram, opts Options) *Session {
+	s := &Session{
+		opts:    opts,
+		prog:    prog,
+		rng:     rand.New(rand.NewSource(opts.Seed ^ 0x5eed)),
+		hlNodes: map[hlEdge]uint64{},
+		cfg:     NewCFG(),
+		hlPaths: map[uint64]bool{},
+	}
+	var strat lowlevel.Strategy
+	if opts.StrategyFactory != nil {
+		strat = opts.StrategyFactory(s.rng, s.cfg)
+		s.eng = lowlevel.NewEngine(s.runOnce, strat, lowlevel.Options{
+			StepLimit:       opts.StepLimit,
+			Seed:            opts.Seed,
+			SolverOptions:   opts.SolverOptions,
+			ForkWeightDecay: opts.ForkWeightDecay,
+		})
+		return s
+	}
+	switch opts.Strategy {
+	case StrategyCUPAPath:
+		strat = cupa.NewPathOptimized(s.rng)
+	case StrategyCUPACoverage:
+		strat = cupa.NewCoverageOptimized(s.rng, s.cfg.Distance)
+	case StrategyDFS:
+		strat = lowlevel.NewDFSStrategy()
+	case StrategyBFS:
+		strat = lowlevel.NewBFSStrategy()
+	default:
+		strat = lowlevel.NewRandomStrategy(s.rng)
+	}
+	s.eng = lowlevel.NewEngine(s.runOnce, strat, lowlevel.Options{
+		StepLimit:       opts.StepLimit,
+		Seed:            opts.Seed,
+		SolverOptions:   opts.SolverOptions,
+		ForkWeightDecay: opts.ForkWeightDecay,
+	})
+	return s
+}
+
+// runOnce adapts the symbolic test to the low-level engine's Program type.
+func (s *Session) runOnce(m *lowlevel.Machine) {
+	ctx := &Ctx{M: m, s: s}
+	s.cur = ctx
+	s.prog(ctx)
+}
+
+// Run explores until the virtual-time budget is exhausted or the state queue
+// drains, and returns the generated test cases.
+func (s *Session) Run(budget int64) []TestCase {
+	info := s.eng.RunInitial()
+	s.finishRun(info)
+	for s.eng.Clock() < budget {
+		info, more := s.eng.SelectAndRun()
+		if !more {
+			break
+		}
+		if info != nil {
+			s.finishRun(info)
+		}
+	}
+	return s.tests
+}
+
+func (s *Session) finishRun(info *lowlevel.RunInfo) {
+	ctx := s.cur
+	s.cur = nil
+	if info.Status == lowlevel.RunAssumeFailed {
+		s.sample()
+		return
+	}
+	if ctx != nil && !s.hlPaths[ctx.hlSig] {
+		s.hlPaths[ctx.hlSig] = true
+		s.tests = append(s.tests, TestCase{
+			Input:    info.Input.Clone(),
+			HLSig:    ctx.hlSig,
+			HLLen:    ctx.hlLen,
+			Status:   info.Status,
+			Result:   ctx.result,
+			VirtTime: s.eng.Clock(),
+		})
+	}
+	s.sample()
+}
+
+func (s *Session) sample() {
+	s.series = append(s.series, SamplePoint{
+		VirtTime: s.eng.Clock(),
+		LLPaths:  s.eng.Stats().LLPaths,
+		HLPaths:  int64(len(s.hlPaths)),
+	})
+}
+
+// Tests returns the generated test cases so far.
+func (s *Session) Tests() []TestCase { return s.tests }
+
+// Series returns the exploration progress samples.
+func (s *Session) Series() []SamplePoint { return s.series }
+
+// HLPathCount returns the number of distinct high-level paths discovered.
+func (s *Session) HLPathCount() int { return len(s.hlPaths) }
+
+// Engine exposes the underlying low-level engine (stats, clock).
+func (s *Session) Engine() *lowlevel.Engine { return s.eng }
+
+// CFG exposes the dynamically discovered high-level CFG.
+func (s *Session) CFG() *CFG { return s.cfg }
+
+// hlNode interns the child of parent along hlpc in the high-level execution
+// tree and returns its id (the dynamic HLPC of §3.3).
+func (s *Session) hlNode(parent uint64, pc HLPC) uint64 {
+	e := hlEdge{parent, pc}
+	if id, ok := s.hlNodes[e]; ok {
+		return id
+	}
+	s.nextHL++
+	s.hlNodes[e] = s.nextHL
+	return s.nextHL
+}
+
+// Ctx is the guest API handed to the instrumented interpreter — the CHEF
+// side of Table 1. It wraps the low-level machine with high-level tracing.
+type Ctx struct {
+	M *lowlevel.Machine
+	s *Session
+
+	prevHLPC HLPC
+	started  bool
+	hlSig    uint64
+	hlLen    int
+	result   string
+}
+
+// LogPC implements log_pc(pc, opcode): the interpreter calls it at the head
+// of its dispatch loop to declare the current high-level location and the
+// opcode about to execute.
+func (c *Ctx) LogPC(pc HLPC, opcode uint32) {
+	c.M.Step(1)
+	dyn := c.s.hlNode(c.M.DynHLPC, pc)
+	c.M.DynHLPC = dyn
+	c.M.StaticHLPC = pc
+	c.M.Opcode = opcode
+	if c.started {
+		c.s.cfg.AddEdge(c.prevHLPC, pc)
+	}
+	c.s.cfg.SetOpcode(pc, opcode)
+	c.prevHLPC = pc
+	c.started = true
+	c.hlSig = c.hlSig*0x100000001b3 ^ pc
+	c.hlLen++
+}
+
+// GetString implements the make_symbolic path of the symbolic test library's
+// getString: it returns n concolic bytes named buf, defaulting to def
+// (padded with zeros) on the first run.
+func (c *Ctx) GetString(buf string, n int, def string) []lowlevel.SVal {
+	out := make([]lowlevel.SVal, n)
+	for i := 0; i < n; i++ {
+		var d byte
+		if i < len(def) {
+			d = def[i]
+		}
+		out[i] = c.M.InputByte(buf, i, d)
+	}
+	return out
+}
+
+// GetInt returns a concolic 32-bit integer input named name.
+func (c *Ctx) GetInt(name string, def int32) lowlevel.SVal {
+	return c.M.InputInt32(name, def)
+}
+
+// Assume implements the assume(expr) API call.
+func (c *Ctx) Assume(llpc lowlevel.LLPC, cond lowlevel.SVal) { c.M.Assume(llpc, cond) }
+
+// Concretize implements the concretize(buf) API call.
+func (c *Ctx) Concretize(v lowlevel.SVal) uint64 { return c.M.ConcretizeSilent(v) }
+
+// UpperBound implements the upper_bound(value) API call.
+func (c *Ctx) UpperBound(v lowlevel.SVal) uint64 { return c.M.UpperBound(v) }
+
+// IsSymbolic implements the is_symbolic(buf) API call.
+func (c *Ctx) IsSymbolic(v lowlevel.SVal) bool { return v.IsSymbolic() }
+
+// StartSymbolic implements start_symbolic. Under S2E the call switched the
+// VM into multi-path mode; in this engine every session run is symbolic from
+// the first instruction, so the call only anchors the high-level trace (the
+// next log_pc starts a fresh CFG edge chain), letting tests scope tracing to
+// the code under test.
+func (c *Ctx) StartSymbolic() {
+	c.started = false
+}
+
+// EndSymbolic implements end_symbolic: it terminates the current state.
+func (c *Ctx) EndSymbolic() { c.M.EndSymbolic() }
+
+// SetResult records the interpreter-visible outcome of the run (for example
+// "ok" or "exception:KeyError"), stored on the generated test case.
+func (c *Ctx) SetResult(r string) { c.result = r }
+
+// Result returns the recorded outcome.
+func (c *Ctx) Result() string { return c.result }
+
+// CFG is the dynamically discovered high-level control-flow graph plus the
+// derived data the coverage-optimized CUPA strategy needs: inferred
+// branching opcodes and distances to potential branching points.
+type CFG struct {
+	succs    map[HLPC]map[HLPC]bool
+	preds    map[HLPC]map[HLPC]bool
+	opcodeOf map[HLPC]uint32
+
+	dirty bool
+	dist  map[HLPC]int
+}
+
+// NewCFG returns an empty CFG.
+func NewCFG() *CFG {
+	return &CFG{
+		succs:    map[HLPC]map[HLPC]bool{},
+		preds:    map[HLPC]map[HLPC]bool{},
+		opcodeOf: map[HLPC]uint32{},
+	}
+}
+
+// AddEdge records an observed transition between high-level locations.
+func (g *CFG) AddEdge(from, to HLPC) {
+	m := g.succs[from]
+	if m == nil {
+		m = map[HLPC]bool{}
+		g.succs[from] = m
+	}
+	if !m[to] {
+		m[to] = true
+		p := g.preds[to]
+		if p == nil {
+			p = map[HLPC]bool{}
+			g.preds[to] = p
+		}
+		p[from] = true
+		g.dirty = true
+	}
+}
+
+// SetOpcode records the opcode of a high-level location.
+func (g *CFG) SetOpcode(pc HLPC, opcode uint32) {
+	if old, ok := g.opcodeOf[pc]; !ok || old != opcode {
+		g.opcodeOf[pc] = opcode
+		g.dirty = true
+	}
+}
+
+// Nodes returns the number of distinct high-level locations seen.
+func (g *CFG) Nodes() int { return len(g.opcodeOf) }
+
+// Edges returns the number of distinct transitions seen.
+func (g *CFG) Edges() int {
+	n := 0
+	for _, m := range g.succs {
+		n += len(m)
+	}
+	return n
+}
+
+// BranchingOpcodes infers the opcodes that may branch, per §3.4: opcodes of
+// instructions observed with out-degree >= 2, minus the 10% least frequent
+// of them (which correspond to exceptions and other rare control transfers).
+func (g *CFG) BranchingOpcodes() map[uint32]bool {
+	freq := map[uint32]int{}
+	for pc, m := range g.succs {
+		if len(m) >= 2 {
+			freq[g.opcodeOf[pc]]++
+		}
+	}
+	if len(freq) == 0 {
+		return map[uint32]bool{}
+	}
+	type of struct {
+		op uint32
+		n  int
+	}
+	all := make([]of, 0, len(freq))
+	for op, n := range freq {
+		all = append(all, of{op, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n < all[j].n
+		}
+		return all[i].op < all[j].op
+	})
+	drop := len(all) / 10
+	out := map[uint32]bool{}
+	for _, e := range all[drop:] {
+		out[e.op] = true
+	}
+	return out
+}
+
+// PotentialBranchPoints returns the locations that have a branching opcode
+// but only one observed successor — the frontier where new high-level
+// branches may be discovered.
+func (g *CFG) PotentialBranchPoints() []HLPC {
+	branching := g.BranchingOpcodes()
+	var out []HLPC
+	for pc, op := range g.opcodeOf {
+		if branching[op] && len(g.succs[pc]) == 1 {
+			out = append(out, pc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+const unknownDistance = 1 << 20
+
+// Distance returns the forward distance (in CFG edges) from pc to the
+// nearest potential branching point, recomputing lazily when the CFG
+// changed. Locations that cannot reach any potential branching point get a
+// large distance so they are deprioritized, never starved.
+func (g *CFG) Distance(pc HLPC) int {
+	if g.dirty || g.dist == nil {
+		g.recompute()
+	}
+	if d, ok := g.dist[pc]; ok {
+		return d
+	}
+	return unknownDistance
+}
+
+func (g *CFG) recompute() {
+	g.dirty = false
+	g.dist = map[HLPC]int{}
+	frontier := g.PotentialBranchPoints()
+	queue := make([]HLPC, 0, len(frontier))
+	for _, pc := range frontier {
+		g.dist[pc] = 0
+		queue = append(queue, pc)
+	}
+	// Reverse BFS: distance from a node to the nearest frontier node along
+	// forward edges.
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		d := g.dist[cur]
+		for pred := range g.preds[cur] {
+			if _, ok := g.dist[pred]; !ok {
+				g.dist[pred] = d + 1
+				queue = append(queue, pred)
+			}
+		}
+	}
+}
+
+// String summarizes the CFG.
+func (g *CFG) String() string {
+	return fmt.Sprintf("cfg{nodes: %d, edges: %d, frontier: %d}", g.Nodes(), g.Edges(), len(g.PotentialBranchPoints()))
+}
+
+// Summary condenses a finished session for reporting.
+type Summary struct {
+	HLTests     int
+	HLPaths     int
+	LLPaths     int64
+	Runs        int64
+	Hangs       int64
+	Forks       int64
+	UnsatStates int64
+	Divergences int64
+	CFGNodes    int
+	CFGEdges    int
+	VirtTime    int64
+}
+
+// Summary returns the session's headline numbers.
+func (s *Session) Summary() Summary {
+	st := s.eng.Stats()
+	return Summary{
+		HLTests:     len(s.tests),
+		HLPaths:     len(s.hlPaths),
+		LLPaths:     st.LLPaths,
+		Runs:        st.Runs,
+		Hangs:       st.Hangs,
+		Forks:       st.Forks,
+		UnsatStates: st.UnsatStates,
+		Divergences: st.Divergences,
+		CFGNodes:    s.cfg.Nodes(),
+		CFGEdges:    s.cfg.Edges(),
+		VirtTime:    s.eng.Clock(),
+	}
+}
+
+// ReplaySig executes the session's program once under the given concrete
+// input on a non-forking machine and returns the high-level path signature
+// the run produces. It lets external tools map concrete inputs (for example,
+// test cases from another engine) onto this session's high-level paths —
+// the §6.6 reference-implementation workflow.
+func (s *Session) ReplaySig(input symexpr.Assignment) uint64 {
+	limit := s.opts.StepLimit
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	m := lowlevel.NewConcreteMachine(input.Clone(), limit)
+	ctx := &Ctx{M: m, s: s}
+	m.RunConcrete(func(*lowlevel.Machine) { s.prog(ctx) })
+	return ctx.hlSig
+}

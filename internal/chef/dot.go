@@ -1,0 +1,44 @@
+package chef
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the dynamically discovered high-level CFG in Graphviz format,
+// marking the potential branching points (the frontier the
+// coverage-optimized CUPA steers toward) with doubled borders. Useful for
+// inspecting what the engine has learned about a target program.
+func (g *CFG) DOT(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", name)
+	frontier := map[HLPC]bool{}
+	for _, pc := range g.PotentialBranchPoints() {
+		frontier[pc] = true
+	}
+	pcs := make([]HLPC, 0, len(g.opcodeOf))
+	for pc := range g.opcodeOf {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		attrs := fmt.Sprintf("label=\"%d:%d\\nop=%d\"", pc>>16, pc&0xffff, g.opcodeOf[pc])
+		if frontier[pc] {
+			attrs += ", peripheries=2, color=red"
+		}
+		fmt.Fprintf(&sb, "  n%d [%s];\n", pc, attrs)
+	}
+	for _, from := range pcs {
+		tos := make([]HLPC, 0, len(g.succs[from]))
+		for to := range g.succs[from] {
+			tos = append(tos, to)
+		}
+		sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+		for _, to := range tos {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", from, to)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

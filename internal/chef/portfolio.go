@@ -1,0 +1,59 @@
+package chef
+
+// Portfolio exploration implements the extension §6.5 of the paper suggests:
+// "for large packages, a portfolio of interpreter builds with different
+// optimizations enabled would help further increase the path coverage."
+// Fig. 11 motivates it with xlrd, whose best-performing build is not the
+// fully optimized one: different optimization levels steer the search into
+// different behaviors of the target.
+//
+// RunPortfolio splits the virtual-time budget across one session per
+// interpreter build and merges the distinct high-level paths. High-level
+// path signatures are comparable across sessions because they derive from
+// the target program's HLPCs, which are deterministic for a fixed source.
+
+// PortfolioMember is one build participating in a portfolio.
+type PortfolioMember struct {
+	Name string
+	Prog TestProgram
+}
+
+// PortfolioResult aggregates a portfolio run.
+type PortfolioResult struct {
+	// Tests are the merged test cases, one per distinct high-level path
+	// across all builds (first build to find a path wins).
+	Tests []TestCase
+	// PerBuild reports each member's own distinct-path count.
+	PerBuild []int
+	// NewPerBuild reports how many paths each member contributed that no
+	// earlier member had found.
+	NewPerBuild []int
+}
+
+// RunPortfolio explores every member under an equal share of the budget and
+// merges distinct high-level paths.
+func RunPortfolio(members []PortfolioMember, opts Options, budget int64) PortfolioResult {
+	res := PortfolioResult{}
+	if len(members) == 0 {
+		return res
+	}
+	share := budget / int64(len(members))
+	seen := map[uint64]bool{}
+	for i, m := range members {
+		memberOpts := opts
+		memberOpts.Seed = opts.Seed + int64(i)*104729
+		s := NewSession(m.Prog, memberOpts)
+		tests := s.Run(share)
+		res.PerBuild = append(res.PerBuild, len(tests))
+		fresh := 0
+		for _, tc := range tests {
+			if !seen[tc.HLSig] {
+				seen[tc.HLSig] = true
+				res.Tests = append(res.Tests, tc)
+				fresh++
+			}
+		}
+		res.NewPerBuild = append(res.NewPerBuild, fresh)
+	}
+	return res
+}

@@ -1,0 +1,187 @@
+package cupa
+
+import (
+	"math/rand"
+	"testing"
+
+	"chef/internal/lowlevel"
+)
+
+func mkState(dyn, static uint64, llpc lowlevel.LLPC, fw float64) *lowlevel.State {
+	return &lowlevel.State{DynHLPC: dyn, StaticHLPC: static, LLPC: llpc, ForkWeight: fw}
+}
+
+func TestAddSelectDrains(t *testing.T) {
+	s := NewPathOptimized(rand.New(rand.NewSource(1)))
+	for i := 0; i < 10; i++ {
+		s.Add(mkState(uint64(i%3), uint64(i), lowlevel.LLPC(i%2), 1))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len = %d, want 10", s.Len())
+	}
+	seen := 0
+	for s.Len() > 0 {
+		if s.Select() == nil {
+			t.Fatal("Select returned nil with states queued")
+		}
+		seen++
+	}
+	if seen != 10 {
+		t.Fatalf("drained %d, want 10", seen)
+	}
+	if s.Select() != nil {
+		t.Fatal("Select must return nil when empty")
+	}
+}
+
+func TestClassUniformityDebiasesHotClasses(t *testing.T) {
+	// One class holds 90 states, another 10. Uniform-over-states selection
+	// would pick the hot class 90% of the time; CUPA must pick each class
+	// about half the time. This is the core claim of §3.2.
+	rng := rand.New(rand.NewSource(7))
+	hot, cold := 0, 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		s := NewPathOptimized(rng)
+		for i := 0; i < 90; i++ {
+			s.Add(mkState(1, 1, 100, 1)) // hot class: dyn HLPC 1
+		}
+		for i := 0; i < 10; i++ {
+			s.Add(mkState(2, 2, 200, 1)) // cold class: dyn HLPC 2
+		}
+		if s.Select().DynHLPC == 1 {
+			hot++
+		} else {
+			cold++
+		}
+	}
+	if hot < trials/3 || cold < trials/3 {
+		t.Fatalf("selection biased: hot=%d cold=%d (want roughly balanced)", hot, cold)
+	}
+}
+
+func TestSecondLevelClassifiesByLLPC(t *testing.T) {
+	// Within one dynamic HLPC, a hot LLPC (many forks at one machine
+	// location) must not dominate a cold LLPC.
+	rng := rand.New(rand.NewSource(8))
+	hot, cold := 0, 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		s := NewPathOptimized(rng)
+		for i := 0; i < 50; i++ {
+			s.Add(mkState(1, 1, 100, 1))
+		}
+		s.Add(mkState(1, 1, 200, 1))
+		if s.Select().LLPC == 100 {
+			hot++
+		} else {
+			cold++
+		}
+	}
+	if cold < trials/4 {
+		t.Fatalf("LLPC level not debiasing: hot=%d cold=%d", hot, cold)
+	}
+}
+
+func TestCoverageOptimizedPrefersCloseStates(t *testing.T) {
+	// States at static HLPC 1 are distance 0 from a potential branch point;
+	// states at HLPC 2 are distance 9. Weight 1/(1+d) must skew selection
+	// towards HLPC 1.
+	dist := func(pc uint64) int {
+		if pc == 1 {
+			return 0
+		}
+		return 9
+	}
+	rng := rand.New(rand.NewSource(9))
+	near, far := 0, 0
+	const trials = 1000
+	for trial := 0; trial < trials; trial++ {
+		s := NewCoverageOptimized(rng, dist)
+		s.Add(mkState(1, 1, 10, 1))
+		s.Add(mkState(2, 2, 20, 1))
+		if s.Select().StaticHLPC == 1 {
+			near++
+		} else {
+			far++
+		}
+	}
+	// Expected ratio 1 : 0.1 => near ~ 91%.
+	if near < trials*3/4 {
+		t.Fatalf("distance weighting ineffective: near=%d far=%d", near, far)
+	}
+}
+
+func TestForkWeightBiasesLeafSelection(t *testing.T) {
+	// Inside one class, the most recently forked state (weight 1) must be
+	// preferred over early forks (weight p^k).
+	dist := func(uint64) int { return 0 }
+	rng := rand.New(rand.NewSource(10))
+	heavy, light := 0, 0
+	const trials = 1000
+	for trial := 0; trial < trials; trial++ {
+		s := NewCoverageOptimized(rng, dist)
+		a := mkState(1, 1, 10, 0.1)
+		b := mkState(1, 1, 10, 1.0)
+		s.Add(a)
+		s.Add(b)
+		if s.Select() == b {
+			heavy++
+		} else {
+			light++
+		}
+	}
+	if heavy < trials*3/5 {
+		t.Fatalf("fork weight ignored: heavy=%d light=%d", heavy, light)
+	}
+}
+
+func TestZeroWeightClassesNotStarved(t *testing.T) {
+	dist := func(pc uint64) int { return 1 << 30 } // everything "unreachable"
+	s := NewCoverageOptimized(rand.New(rand.NewSource(11)), dist)
+	s.Add(mkState(1, 1, 10, 0))
+	s.Add(mkState(2, 2, 20, 0))
+	got := 0
+	for s.Len() > 0 {
+		if s.Select() != nil {
+			got++
+		}
+	}
+	if got != 2 {
+		t.Fatalf("drained %d, want 2", got)
+	}
+}
+
+func TestTreePruning(t *testing.T) {
+	s := NewPathOptimized(rand.New(rand.NewSource(12)))
+	// Interleave adds and selects to stress node creation/pruning.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 5; i++ {
+			s.Add(mkState(uint64(round%4), uint64(i), lowlevel.LLPC(i), 1))
+		}
+		for i := 0; i < 3; i++ {
+			if s.Select() == nil {
+				t.Fatal("unexpected empty select")
+			}
+		}
+	}
+	want := 20*5 - 20*3
+	if s.Len() != want {
+		t.Fatalf("len = %d, want %d", s.Len(), want)
+	}
+	for s.Len() > 0 {
+		s.Select()
+	}
+	if s.Select() != nil {
+		t.Fatal("tree should be empty")
+	}
+}
+
+func TestSingleClassFastPath(t *testing.T) {
+	s := NewPathOptimized(rand.New(rand.NewSource(13)))
+	a := mkState(1, 1, 10, 1)
+	s.Add(a)
+	if got := s.Select(); got != a {
+		t.Fatalf("got %v, want the single state", got)
+	}
+}

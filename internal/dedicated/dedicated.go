@@ -1,0 +1,290 @@
+// Package dedicated implements a hand-written, NICE-PySE-style symbolic
+// execution engine for a subset of MiniPy (§6.6 of the paper). Unlike CHEF,
+// it does not execute the interpreter: it interprets the target program's
+// bytecode directly over wrapped symbolic values, forking one state per
+// high-level branch. This makes it much faster per path — and, exactly as
+// the paper argues, incomplete (it supports only part of the language) and
+// prone to subtle semantic bugs.
+//
+// The BugCompat flag reproduces the real defect CHEF found in NICE: the
+// handling of "if not <expr>" statements selected the wrong branch
+// alternate, generating redundant test cases and missing feasible paths.
+package dedicated
+
+import (
+	"fmt"
+
+	"chef/internal/minipy"
+	"chef/internal/solver"
+	"chef/internal/symexpr"
+)
+
+// Options configure the engine.
+type Options struct {
+	// BugCompat enables the historical "if not <expr>" branch-selection bug.
+	BugCompat bool
+	// MaxStates caps exploration (0 = 4096).
+	MaxStates int
+	// SolverOptions configure the underlying solver.
+	SolverOptions solver.Options
+}
+
+// Value is a symbolic runtime value of the dedicated engine.
+type Value interface{ kind() string }
+
+// IntV is a symbolic integer (64-bit, no overflow modeling — one of the
+// deliberate infidelities of hand-written engines).
+type IntV struct{ E *symexpr.Expr }
+
+func (IntV) kind() string { return "int" }
+
+// StrV is a symbolic string of fixed length.
+type StrV struct{ B []*symexpr.Expr } // each width 8
+
+func (StrV) kind() string { return "str" }
+
+// BoolV is a symbolic boolean.
+type BoolV struct{ E *symexpr.Expr }
+
+func (BoolV) kind() string { return "bool" }
+
+// NoneV is None.
+type NoneV struct{}
+
+func (NoneV) kind() string { return "none" }
+
+// ListV is a list.
+type ListV struct{ Items []Value }
+
+func (*ListV) kind() string { return "list" }
+
+// DictV is a dictionary modeled as an association list — the high-level
+// representation a dedicated engine uses instead of the interpreter's hash
+// table.
+type DictV struct {
+	Keys []Value
+	Vals []Value
+}
+
+func (*DictV) kind() string { return "dict" }
+
+// FuncV is a user function.
+type FuncV struct{ Code *minipy.Code }
+
+func (*FuncV) kind() string { return "function" }
+
+// TestCase is one generated input assignment with its observed outcome.
+type TestCase struct {
+	Input  symexpr.Assignment
+	Result string
+	PathID uint64
+}
+
+// Stats reports exploration work in the same virtual currency as the
+// low-level engine: interpretation steps plus solver propagations.
+type Stats struct {
+	States       int64
+	Paths        int64
+	Steps        int64
+	SolverProps  int64
+	InfeasibleBr int64
+}
+
+// Engine is the dedicated symbolic executor.
+type Engine struct {
+	prog   *minipy.Program
+	opts   Options
+	solver *solver.Solver
+	stats  Stats
+	tests  []TestCase
+	seen   map[uint64]bool
+}
+
+// New builds an engine for a compiled MiniPy program.
+func New(prog *minipy.Program, opts Options) *Engine {
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 4096
+	}
+	return &Engine{prog: prog, opts: opts, solver: solver.New(opts.SolverOptions), seen: map[uint64]bool{}}
+}
+
+// Stats returns exploration counters.
+func (e *Engine) Stats() Stats {
+	e.stats.SolverProps = e.solver.Stats().Propagations
+	return e.stats
+}
+
+// Tests returns the generated test cases.
+func (e *Engine) Tests() []TestCase { return e.tests }
+
+// VirtualTime returns steps + solver propagations, comparable with the
+// low-level engine's clock.
+func (e *Engine) VirtualTime() int64 {
+	return e.stats.Steps + e.solver.Stats().Propagations
+}
+
+// state is one symbolic execution state: a full program configuration.
+type state struct {
+	frames []*frame
+	pc     []*symexpr.Expr // path condition
+	pathID uint64
+	depth  int
+}
+
+type frame struct {
+	code   *minipy.Code
+	locals map[string]Value
+	stack  []Value
+	ip     int
+}
+
+func (s *state) top() *frame { return s.frames[len(s.frames)-1] }
+
+func (s *state) clone() *state {
+	ns := &state{pc: append([]*symexpr.Expr(nil), s.pc...), pathID: s.pathID, depth: s.depth}
+	for _, f := range s.frames {
+		nf := &frame{code: f.code, ip: f.ip, locals: map[string]Value{}, stack: make([]Value, len(f.stack))}
+		for k, v := range f.locals {
+			nf.locals[k] = cloneValue(v)
+		}
+		for i, v := range f.stack {
+			nf.stack[i] = cloneValue(v)
+		}
+		ns.frames = append(ns.frames, nf)
+	}
+	return ns
+}
+
+func cloneValue(v Value) Value {
+	switch x := v.(type) {
+	case *ListV:
+		items := make([]Value, len(x.Items))
+		for i, it := range x.Items {
+			items[i] = cloneValue(it)
+		}
+		return &ListV{Items: items}
+	case *DictV:
+		d := &DictV{Keys: make([]Value, len(x.Keys)), Vals: make([]Value, len(x.Vals))}
+		for i := range x.Keys {
+			d.Keys[i] = cloneValue(x.Keys[i])
+			d.Vals[i] = cloneValue(x.Vals[i])
+		}
+		return d
+	default:
+		return v
+	}
+}
+
+func pathStep(id uint64, taken bool) uint64 {
+	h := id*0x100000001b3 ^ 0x9e37
+	if taken {
+		h ^= 1
+	}
+	return h
+}
+
+// Explore runs the target entry function with the given symbolic arguments
+// until the state cap is reached.
+func (e *Engine) Explore(entry string, args []Value) error {
+	// Run the module body concretely-symbolically first to bind globals
+	// (function definitions only — module-level control flow on symbolic
+	// data is out of the engine's supported subset).
+	globals := map[string]Value{}
+	mainFrame := &frame{code: e.prog.Main, locals: globals}
+	init := &state{frames: []*frame{mainFrame}}
+	if _, err := e.runToCompletion(init, globals); err != nil {
+		return err
+	}
+	fn, ok := globals[entry].(*FuncV)
+	if !ok {
+		return fmt.Errorf("dedicated: entry %q not found", entry)
+	}
+	f := &frame{code: fn.Code, locals: map[string]Value{}}
+	if len(fn.Code.Params) != len(args) {
+		return fmt.Errorf("dedicated: arity mismatch")
+	}
+	for i, p := range fn.Code.Params {
+		f.locals[p] = args[i]
+	}
+	worklist := []*state{{frames: []*frame{f}}}
+	for len(worklist) > 0 && int(e.stats.States) < e.opts.MaxStates {
+		st := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		e.stats.States++
+		forks, result := e.run(st, globals)
+		worklist = append(worklist, forks...)
+		if result != "" {
+			e.finish(st, result)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) finish(st *state, result string) {
+	e.stats.Paths++
+	if e.seen[st.pathID] {
+		return
+	}
+	e.seen[st.pathID] = true
+	res, model := e.solver.Check(st.pc, nil)
+	if res != solver.Sat {
+		return
+	}
+	e.tests = append(e.tests, TestCase{Input: model, Result: result, PathID: st.pathID})
+}
+
+// runToCompletion executes without forking (module initialization).
+func (e *Engine) runToCompletion(st *state, globals map[string]Value) (string, error) {
+	forks, result := e.run(st, globals)
+	if len(forks) > 0 {
+		return "", fmt.Errorf("dedicated: symbolic branching during module init is unsupported")
+	}
+	return result, nil
+}
+
+// feasible checks whether pc ∧ cond is satisfiable.
+func (e *Engine) feasible(pc []*symexpr.Expr, cond *symexpr.Expr) bool {
+	q := append(append([]*symexpr.Expr(nil), pc...), cond)
+	res, _ := e.solver.Check(q, nil)
+	return res == solver.Sat
+}
+
+// run advances a state until it terminates or forks at a symbolic branch.
+// It returns the forked successor states and, for terminated states, the
+// result string.
+func (e *Engine) run(st *state, globals map[string]Value) ([]*state, string) {
+	const stepCap = 200000
+	steps := 0
+	for {
+		steps++
+		e.stats.Steps++
+		if steps > stepCap {
+			return nil, "hang"
+		}
+		if len(st.frames) == 0 {
+			return nil, "ok"
+		}
+		f := st.top()
+		if f.ip >= len(f.code.Instrs) {
+			// Implicit return.
+			st.frames = st.frames[:len(st.frames)-1]
+			if len(st.frames) == 0 {
+				return nil, "ok"
+			}
+			st.top().stack = append(st.top().stack, NoneV{})
+			continue
+		}
+		in := f.code.Instrs[f.ip]
+		f.ip++
+		forks, result, err := e.exec(st, f, in, globals)
+		if err != nil {
+			return nil, "exception:" + err.Type
+		}
+		if result != "" {
+			return nil, result
+		}
+		if forks != nil {
+			return forks, ""
+		}
+	}
+}

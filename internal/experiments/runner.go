@@ -1,0 +1,189 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the Go reproduction: Table 2 (interpreter-preparation
+// effort), Table 3 (testing results), Table 4 (feature support), Figure 8
+// (test-case generation), Figure 9 (line coverage), Figure 10 (path-ratio
+// over time), Figure 11 (optimization breakdown) and Figure 12 (overhead
+// versus a dedicated engine).
+//
+// All experiments run under deterministic virtual-time budgets; repetitions
+// vary the session seed, mirroring the paper's 15-trial averaging.
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"chef/internal/chef"
+	"chef/internal/lowlevel"
+	"chef/internal/minilua"
+	"chef/internal/minipy"
+	"chef/internal/packages"
+)
+
+// Budgets collects the virtual-time knobs of a run, standing in for the
+// paper's 30-minute wall-clock budget and 60-second hang timeout.
+type Budgets struct {
+	// Time is the virtual-time exploration budget per session.
+	Time int64
+	// StepLimit is the per-run hang threshold.
+	StepLimit int64
+	// Reps is the number of repetitions with distinct seeds.
+	Reps int
+	// Seed is the base seed.
+	Seed int64
+}
+
+// DefaultBudgets returns budgets sized for the benchmark harness: large
+// enough to show every effect, small enough for a laptop.
+func DefaultBudgets() Budgets {
+	return Budgets{Time: 3_000_000, StepLimit: 60_000, Reps: 3, Seed: 1}
+}
+
+// QuickBudgets returns reduced budgets for unit tests.
+func QuickBudgets() Budgets {
+	return Budgets{Time: 600_000, StepLimit: 30_000, Reps: 1, Seed: 1}
+}
+
+// Configuration is one of the four §6.3 configurations.
+type Configuration struct {
+	Name     string
+	Strategy chef.StrategyKind
+	PyCfg    minipy.Config
+	LuaCfg   minilua.Config
+}
+
+// FourConfigurations returns the §6.3 grid: baseline, CUPA only,
+// optimizations only, and CUPA + optimizations. pathOpt selects the
+// path-optimized CUPA (Fig. 8) versus the coverage-optimized one (Fig. 9).
+func FourConfigurations(pathOpt bool) []Configuration {
+	strat := chef.StrategyCUPACoverage
+	if pathOpt {
+		strat = chef.StrategyCUPAPath
+	}
+	return []Configuration{
+		{Name: "Baseline", Strategy: chef.StrategyRandom},
+		{Name: "CUPA Only", Strategy: strat},
+		{Name: "Optimizations Only", Strategy: chef.StrategyRandom, PyCfg: minipy.Optimized, LuaCfg: minilua.Optimized},
+		{Name: "CUPA + Optimizations", Strategy: strat, PyCfg: minipy.Optimized, LuaCfg: minilua.Optimized},
+	}
+}
+
+// RunResult summarizes one session on one package.
+type RunResult struct {
+	Package    string
+	Config     string
+	HLTests    int
+	LLPaths    int64
+	Coverage   float64 // covered / coverable lines, in [0,1]
+	Exceptions map[string]bool
+	Hangs      int
+	Series     []chef.SamplePoint
+	VirtTime   int64
+}
+
+// RunPackage explores one package under one configuration and replays the
+// generated tests to confirm outcomes and measure line coverage.
+func RunPackage(p *packages.Package, cfg Configuration, b Budgets, seed int64) RunResult {
+	opts := chef.Options{
+		Strategy:  cfg.Strategy,
+		Seed:      seed,
+		StepLimit: b.StepLimit,
+	}
+	res := RunResult{Package: p.Name, Config: cfg.Name, Exceptions: map[string]bool{}}
+	var tests []chef.TestCase
+	var session *chef.Session
+	covered := map[int]bool{}
+	coverable := 1
+
+	switch p.Lang {
+	case packages.Python:
+		pt := p.PyTest(cfg.PyCfg)
+		session = chef.NewSession(pt.Program(), opts)
+		tests = session.Run(b.Time)
+		coverable = len(pt.Prog().CoverableLines())
+		for _, tc := range tests {
+			rep := pt.Replay(tc.Input, b.StepLimit)
+			for l := range rep.Lines {
+				covered[l] = true
+			}
+			classify(&res, rep.Result, rep.Status)
+		}
+	default:
+		lt := p.LuaTest(cfg.LuaCfg)
+		session = chef.NewSession(lt.Program(), opts)
+		tests = session.Run(b.Time)
+		coverable = len(lt.Prog().CoverableLines())
+		for _, tc := range tests {
+			rep := lt.Replay(tc.Input, b.StepLimit)
+			for l := range rep.Lines {
+				covered[l] = true
+			}
+			classify(&res, rep.Result, rep.Status)
+		}
+	}
+	res.HLTests = len(tests)
+	res.LLPaths = session.Engine().Stats().LLPaths
+	res.Coverage = float64(len(covered)) / float64(coverable)
+	res.Series = session.Series()
+	res.VirtTime = session.Engine().Clock()
+	return res
+}
+
+func classify(res *RunResult, result string, status lowlevel.RunStatus) {
+	if status == lowlevel.RunHang {
+		res.Hangs++
+		return
+	}
+	const pyPrefix = "exception:"
+	if len(result) > len(pyPrefix) && result[:len(pyPrefix)] == pyPrefix {
+		res.Exceptions[result[len(pyPrefix):]] = true
+	}
+}
+
+// Mean and Stddev of float series.
+func meanStd(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(v / float64(len(xs)))
+}
+
+// Aggregated holds a mean ± stddev across repetitions.
+type Aggregated struct {
+	Mean float64
+	Std  float64
+}
+
+// RunRepeated runs RunPackage b.Reps times with varying seeds and aggregates
+// test counts and coverage.
+func RunRepeated(p *packages.Package, cfg Configuration, b Budgets) (tests, coverage Aggregated, last RunResult) {
+	var ts, cs []float64
+	for r := 0; r < b.Reps; r++ {
+		res := RunPackage(p, cfg, b, b.Seed+int64(r)*7919)
+		ts = append(ts, float64(res.HLTests))
+		cs = append(cs, res.Coverage)
+		last = res
+	}
+	tm, tstd := meanStd(ts)
+	cm, cstd := meanStd(cs)
+	return Aggregated{tm, tstd}, Aggregated{cm, cstd}, last
+}
+
+// sortedKeys returns sorted map keys for deterministic rendering.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,405 @@
+package lowlevel
+
+import (
+	"math"
+	"math/rand"
+
+	"chef/internal/solver"
+	"chef/internal/symexpr"
+)
+
+// State is a pending alternate: a path that forked off an executed run and
+// has not been explored yet. The high-level classification fields are filled
+// from the machine at fork time and consumed by the CUPA strategies.
+type State struct {
+	pc   *pcNode
+	base symexpr.Assignment // concrete inputs of the forking run
+	Sig  uint64
+
+	// Classification data.
+	LLPC       LLPC
+	DynHLPC    uint64
+	StaticHLPC uint64
+	Opcode     uint32
+	Depth      int
+	ForkWeight float64
+
+	// Divergence expectation: the decision index and orientation this state
+	// is supposed to flip when executed.
+	flipIdx      int
+	flipLLPC     LLPC
+	flipTaken    bool
+	flipOriented bool
+}
+
+// PathCondition materializes the state's path condition.
+func (s *State) PathCondition() []*symexpr.Expr { return s.pc.slice() }
+
+// Strategy selects the next pending state to explore. Implementations are
+// not safe for concurrent use.
+type Strategy interface {
+	// Add enqueues a freshly forked state.
+	Add(s *State)
+	// Select removes and returns the next state, or nil when empty.
+	Select() *State
+	// Len returns the number of queued states.
+	Len() int
+}
+
+// RunStatus classifies how a run terminated.
+type RunStatus uint8
+
+// Run outcomes.
+const (
+	RunCompleted    RunStatus = iota // interpreter finished normally
+	RunHang                          // per-run step limit exceeded
+	RunAssumeFailed                  // concrete input violated an assumption
+	RunEnded                         // guest called end_symbolic
+)
+
+func (s RunStatus) String() string {
+	switch s {
+	case RunCompleted:
+		return "completed"
+	case RunHang:
+		return "hang"
+	case RunAssumeFailed:
+		return "assume-failed"
+	case RunEnded:
+		return "ended"
+	default:
+		return "unknown"
+	}
+}
+
+// RunInfo summarizes one concrete run of the interpreter.
+type RunInfo struct {
+	Status   RunStatus
+	Steps    int64
+	Input    symexpr.Assignment
+	Diverged bool
+	Depth    int // symbolic decisions taken
+}
+
+// Options configure the engine.
+type Options struct {
+	// StepLimit caps virtual steps per run; exceeding it is a hang
+	// (the paper's 60-second per-path timeout). Default 1 << 20.
+	StepLimit int64
+	// Seed drives all randomized choices.
+	Seed int64
+	// SolverOptions configure the constraint solver.
+	SolverOptions solver.Options
+	// ForkWeightDecay is the p of §3.4 (default 0.75).
+	ForkWeightDecay float64
+}
+
+func (o *Options) fill() {
+	if o.StepLimit == 0 {
+		o.StepLimit = 1 << 20
+	}
+	if o.ForkWeightDecay == 0 {
+		o.ForkWeightDecay = 0.75
+	}
+}
+
+// Stats counts engine-level events.
+type Stats struct {
+	Runs          int64
+	LLPaths       int64 // completed low-level paths (test cases at LL granularity)
+	Hangs         int64
+	AssumeFails   int64
+	Forks         int64
+	DupStates     int64 // alternates skipped because their path was seen
+	UnsatStates   int64
+	UnknownStates int64
+	Divergences   int64
+}
+
+// Program is the entry point the CHEF layer hands to the engine: one full
+// concrete+symbolic run of the interpreter over the given machine.
+type Program func(m *Machine)
+
+type concretizeKey struct {
+	sig  uint64
+	llpc LLPC
+}
+
+// Engine drives concolic exploration of a Program.
+type Engine struct {
+	opts     Options
+	solver   *solver.Solver
+	strategy Strategy
+	prog     Program
+	rng      *rand.Rand
+
+	visited    map[uint64]bool // explored or queued decision signatures
+	seenValues map[concretizeKey]map[uint64]bool
+
+	clock int64 // virtual time: steps + solver propagation cost
+	stats Stats
+
+	// Per-run fork-weight grouping.
+	group     []*State
+	groupLLPC LLPC
+
+	// OnFork, when set, is invoked for every registered alternate state
+	// before it is handed to the strategy. The CHEF layer uses it to attach
+	// high-level classification data.
+	OnFork func(*State)
+}
+
+// NewEngine builds an engine exploring prog with the given strategy.
+func NewEngine(prog Program, strategy Strategy, opts Options) *Engine {
+	opts.fill()
+	return &Engine{
+		opts:       opts,
+		solver:     solver.New(opts.SolverOptions),
+		strategy:   strategy,
+		prog:       prog,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		visited:    map[uint64]bool{},
+		seenValues: map[concretizeKey]map[uint64]bool{},
+	}
+}
+
+// Solver exposes the engine's constraint solver (for stats and the CHEF
+// layer's upper_bound needs).
+func (e *Engine) Solver() *solver.Solver { return e.solver }
+
+// Rand exposes the engine's deterministic randomness source so strategies
+// can share it.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Clock returns the virtual time consumed so far.
+func (e *Engine) Clock() int64 { return e.clock }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Pending returns the number of queued states.
+func (e *Engine) Pending() int { return e.strategy.Len() }
+
+func (e *Engine) markVisited(sig uint64) { e.visited[sig] = true }
+
+func (e *Engine) chargeSolver(propsBefore int64) {
+	e.clock += e.solver.Stats().Propagations - propsBefore
+}
+
+func (e *Engine) registerAlternate(m *Machine, llpc LLPC, alt *symexpr.Expr, altSig uint64, flipTaken, oriented bool) {
+	e.stats.Forks++
+	if e.visited[altSig] {
+		e.stats.DupStates++
+		return
+	}
+	e.visited[altSig] = true
+	st := &State{
+		pc:           &pcNode{parent: m.pc, c: alt, depth: depthOf(m.pc) + 1},
+		base:         m.assign.Clone(),
+		Sig:          altSig,
+		LLPC:         llpc,
+		DynHLPC:      m.DynHLPC,
+		StaticHLPC:   m.StaticHLPC,
+		Opcode:       m.Opcode,
+		Depth:        m.nDecisions,
+		ForkWeight:   1,
+		flipIdx:      m.nDecisions,
+		flipLLPC:     llpc,
+		flipTaken:    flipTaken,
+		flipOriented: oriented,
+	}
+	// Fork-weight grouping: consecutive forks at the same LLPC within a run
+	// form a group whose members get weights p^(n-1) ... p^0.
+	if llpc == e.groupLLPC && len(e.group) > 0 {
+		e.group = append(e.group, st)
+	} else {
+		e.finalizeGroup()
+		e.groupLLPC = llpc
+		e.group = []*State{st}
+	}
+	if e.OnFork != nil {
+		e.OnFork(st)
+	}
+	e.strategy.Add(st)
+}
+
+// finalizeGroup assigns fork weights p^(n-1-i) to the current group.
+func (e *Engine) finalizeGroup() {
+	n := len(e.group)
+	p := e.opts.ForkWeightDecay
+	for i, st := range e.group {
+		st.ForkWeight = math.Pow(p, float64(n-1-i))
+	}
+	e.group = nil
+	e.groupLLPC = 0
+}
+
+// runWith executes the program under the given input and returns the run
+// summary. flip describes the decision the run is expected to invert (nil
+// for the initial run).
+func (e *Engine) runWith(input symexpr.Assignment, flip *State) *RunInfo {
+	m := &Machine{
+		eng:       e,
+		stepLimit: e.opts.StepLimit,
+		assign:    input,
+		expectIdx: -1,
+	}
+	if flip != nil {
+		m.expectIdx = flip.flipIdx
+		m.expectLLPC = flip.flipLLPC
+		m.expectTaken = flip.flipTaken
+		m.expectOriented = flip.flipOriented
+	}
+	info := &RunInfo{Status: RunCompleted}
+	e.stats.Runs++
+	func() {
+		defer func() {
+			r := recover()
+			switch r {
+			case nil:
+			case errStepLimit:
+				info.Status = RunHang
+				e.stats.Hangs++
+			case errAssumeFail:
+				info.Status = RunAssumeFailed
+				e.stats.AssumeFails++
+			case errEndSymbolic:
+				info.Status = RunEnded
+			default:
+				panic(r)
+			}
+		}()
+		e.prog(m)
+	}()
+	e.finalizeGroup()
+	info.Steps = m.steps
+	info.Input = m.assign
+	info.Depth = m.nDecisions
+	e.clock += m.steps
+	if flip != nil {
+		// Divergence: the run never reached its flip decision index, or
+		// branched at a different site there.
+		if m.diverged || m.nDecisions <= flip.flipIdx {
+			info.Diverged = true
+			e.stats.Divergences++
+		}
+	}
+	if info.Status != RunAssumeFailed {
+		e.stats.LLPaths++
+	}
+	return info
+}
+
+// RunInitial performs the first run under default inputs.
+func (e *Engine) RunInitial() *RunInfo {
+	return e.runWith(symexpr.Assignment{}, nil)
+}
+
+// SelectAndRun picks the next pending state, synthesizes an input for it and
+// executes it. It returns (nil, false) when no pending states remain,
+// (nil, true) when a state was discarded as infeasible, and (info, true)
+// for an executed run.
+func (e *Engine) SelectAndRun() (*RunInfo, bool) {
+	st := e.strategy.Select()
+	if st == nil {
+		return nil, false
+	}
+	return e.runState(st), true
+}
+
+func (e *Engine) runState(st *State) *RunInfo {
+	before := e.solver.Stats().Propagations
+	res, model := e.solver.Check(st.pc.slice(), st.base)
+	e.chargeSolver(before)
+	switch res {
+	case solver.Unsat:
+		e.stats.UnsatStates++
+		return nil
+	case solver.Unknown:
+		e.stats.UnknownStates++
+		return nil
+	}
+	// Merge the model over the forking run's concrete inputs so unconstrained
+	// variables keep their previous values.
+	input := st.base.Clone()
+	for k, v := range model {
+		input[k] = v
+	}
+	return e.runWith(input, st)
+}
+
+// RandomStrategy is the baseline of §6.3: uniform random selection among all
+// pending states.
+type RandomStrategy struct {
+	rng    *rand.Rand
+	states []*State
+}
+
+// NewRandomStrategy builds the baseline strategy.
+func NewRandomStrategy(rng *rand.Rand) *RandomStrategy {
+	return &RandomStrategy{rng: rng}
+}
+
+// Add implements Strategy.
+func (r *RandomStrategy) Add(s *State) { r.states = append(r.states, s) }
+
+// Select implements Strategy.
+func (r *RandomStrategy) Select() *State {
+	n := len(r.states)
+	if n == 0 {
+		return nil
+	}
+	i := r.rng.Intn(n)
+	s := r.states[i]
+	r.states[i] = r.states[n-1]
+	r.states = r.states[:n-1]
+	return s
+}
+
+// Len implements Strategy.
+func (r *RandomStrategy) Len() int { return len(r.states) }
+
+// DFSStrategy explores deepest-first (a stack).
+type DFSStrategy struct{ states []*State }
+
+// NewDFSStrategy builds a depth-first strategy.
+func NewDFSStrategy() *DFSStrategy { return &DFSStrategy{} }
+
+// Add implements Strategy.
+func (d *DFSStrategy) Add(s *State) { d.states = append(d.states, s) }
+
+// Select implements Strategy.
+func (d *DFSStrategy) Select() *State {
+	n := len(d.states)
+	if n == 0 {
+		return nil
+	}
+	s := d.states[n-1]
+	d.states = d.states[:n-1]
+	return s
+}
+
+// Len implements Strategy.
+func (d *DFSStrategy) Len() int { return len(d.states) }
+
+// BFSStrategy explores shallowest-first (a queue).
+type BFSStrategy struct{ states []*State }
+
+// NewBFSStrategy builds a breadth-first strategy.
+func NewBFSStrategy() *BFSStrategy { return &BFSStrategy{} }
+
+// Add implements Strategy.
+func (b *BFSStrategy) Add(s *State) { b.states = append(b.states, s) }
+
+// Select implements Strategy.
+func (b *BFSStrategy) Select() *State {
+	if len(b.states) == 0 {
+		return nil
+	}
+	s := b.states[0]
+	b.states = b.states[1:]
+	return s
+}
+
+// Len implements Strategy.
+func (b *BFSStrategy) Len() int { return len(b.states) }

@@ -1,0 +1,82 @@
+package minilua
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders a compiled chunk's bytecode, in the spirit of luac -l: one
+// section per prototype with offsets, source lines, mnemonics and resolved
+// operands. Useful for debugging the compiler and inspecting HLPCs.
+func Disasm(p *Program) string {
+	var sb strings.Builder
+	for _, proto := range p.Protos {
+		fmt.Fprintf(&sb, "proto %d <%s> params=%d slots=%d:\n",
+			proto.BlockID, proto.Name, proto.NumParams, proto.NumSlots)
+		lastLine := -1
+		for i, in := range proto.Instrs {
+			lineCol := "    "
+			if in.Line != lastLine {
+				lineCol = fmt.Sprintf("%4d", in.Line)
+				lastLine = in.Line
+			}
+			fmt.Fprintf(&sb, "%s %5d  %-16s %s\n", lineCol, i, opName(in.Op), luaOperand(proto, in))
+		}
+	}
+	return sb.String()
+}
+
+var luaOpNames = map[OpCode]string{
+	OpNop: "NOP", OpLoadK: "LOADK", OpLoadNil: "LOADNIL", OpLoadBool: "LOADBOOL",
+	OpGetLocal: "GETLOCAL", OpSetLocal: "SETLOCAL", OpGetGlobal: "GETGLOBAL",
+	OpSetGlobal: "SETGLOBAL", OpNewTable: "NEWTABLE", OpGetIndex: "GETINDEX",
+	OpSetIndex: "SETINDEX", OpSetIndex2: "SETINDEX2", OpSetIndexKeep: "SETINDEXK",
+	OpGetField: "GETFIELD", OpSetField: "SETFIELD", OpSelfField: "SELF",
+	OpCall: "CALL", OpReturn: "RETURN", OpJump: "JMP", OpJumpIfNot: "JMPIFNOT",
+	OpJumpIfNotKeep: "JMPIFNOTK", OpJumpIfKeep: "JMPIFK", OpPop: "POP",
+	OpBin: "BINOP", OpUnm: "UNM", OpNot: "NOT", OpLen: "LEN", OpConcat: "CONCAT",
+	OpForPrep: "FORPREP", OpForLoop: "FORLOOP", OpTForCall: "TFORCALL",
+	OpClosure: "CLOSURE", OpAppend: "APPEND",
+}
+
+func opName(op OpCode) string {
+	if s, ok := luaOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("OP(%d)", uint32(op))
+}
+
+var luaBinNames = []string{"+", "-", "*", "/", "%", "==", "~=", "<", "<=", ">", ">="}
+
+func luaOperand(proto *Proto, in Instr) string {
+	switch in.Op {
+	case OpLoadK, OpClosure:
+		if int(in.Arg) < len(proto.Consts) {
+			if pv, ok := proto.Consts[in.Arg].(*ProtoVal); ok {
+				return fmt.Sprintf("%d (<proto %s>)", in.Arg, pv.Proto.Name)
+			}
+			return fmt.Sprintf("%d (%s)", in.Arg, Repr(proto.Consts[in.Arg]))
+		}
+	case OpGetGlobal, OpSetGlobal, OpGetField, OpSetField, OpSelfField:
+		if int(in.Arg) < len(proto.Names) {
+			return fmt.Sprintf("%d (%s)", in.Arg, proto.Names[in.Arg])
+		}
+	case OpGetLocal, OpSetLocal:
+		return fmt.Sprintf("slot %d", in.Arg)
+	case OpJump, OpJumpIfNot, OpJumpIfNotKeep, OpJumpIfKeep, OpTForCall:
+		return fmt.Sprintf("-> %d", in.Arg)
+	case OpForPrep:
+		return fmt.Sprintf("base %d", in.Arg)
+	case OpForLoop:
+		return fmt.Sprintf("-> %d base %d", in.Arg, in.B)
+	case OpBin:
+		if int(in.Arg) < len(luaBinNames) {
+			return luaBinNames[in.Arg]
+		}
+	case OpCall:
+		return fmt.Sprintf("n=%d", in.Arg)
+	case OpLoadBool:
+		return fmt.Sprintf("%v", in.Arg != 0)
+	}
+	return ""
+}

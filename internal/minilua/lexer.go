@@ -1,0 +1,215 @@
+// Package minilua implements MiniLua, the Lua-like language of CHEF's second
+// case study (§5.2 of the paper, standing in for Lua 5.2.2). Like the
+// reference setup, the interpreter is configured for integer numbers (the
+// paper switched Lua to integers because S2E's solver lacks floating point),
+// and its tables, byte-wise string library and dispatch loop expose the same
+// low-level path-explosion sources as MiniPy's runtime.
+package minilua
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// TokKind enumerates MiniLua token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokName
+	TokInt
+	TokStr
+	TokKeyword
+	TokOp
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokInt:
+		return fmt.Sprintf("%d", t.Int)
+	case TokStr:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var luaKeywords = map[string]bool{
+	"and": true, "break": true, "do": true, "else": true, "elseif": true,
+	"end": true, "false": true, "for": true, "function": true, "if": true,
+	"in": true, "local": true, "nil": true, "not": true, "or": true,
+	"repeat": true, "return": true, "then": true, "true": true,
+	"until": true, "while": true,
+}
+
+// SyntaxError reports a compilation problem.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) *SyntaxError {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes MiniLua source.
+func Lex(src string) ([]Token, error) {
+	var out []Token
+	pos, line := 0, 1
+	at := func(i int) byte {
+		if pos+i >= len(src) {
+			return 0
+		}
+		return src[pos+i]
+	}
+	for pos < len(src) {
+		c := src[pos]
+		switch {
+		case c == '\n':
+			line++
+			pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			pos++
+		case c == '-' && at(1) == '-':
+			// Comment: long [[ ]] or line.
+			pos += 2
+			if at(0) == '[' && at(1) == '[' {
+				pos += 2
+				for pos < len(src) && !(src[pos] == ']' && at(1) == ']') {
+					if src[pos] == '\n' {
+						line++
+					}
+					pos++
+				}
+				pos += 2
+			} else {
+				for pos < len(src) && src[pos] != '\n' {
+					pos++
+				}
+			}
+		case c >= '0' && c <= '9':
+			start := pos
+			if c == '0' && (at(1) == 'x' || at(1) == 'X') {
+				pos += 2
+				for isHex(at(0)) {
+					pos++
+				}
+				v, err := strconv.ParseInt(src[start+2:pos], 16, 64)
+				if err != nil {
+					return nil, errf(line, "bad hex literal")
+				}
+				out = append(out, Token{Kind: TokInt, Int: v, Line: line})
+				continue
+			}
+			for at(0) >= '0' && at(0) <= '9' {
+				pos++
+			}
+			v, err := strconv.ParseInt(src[start:pos], 10, 64)
+			if err != nil {
+				return nil, errf(line, "bad int literal")
+			}
+			out = append(out, Token{Kind: TokInt, Int: v, Line: line})
+		case isLuaNameStart(c):
+			start := pos
+			for isLuaNameChar(at(0)) {
+				pos++
+			}
+			text := src[start:pos]
+			kind := TokName
+			if luaKeywords[text] {
+				kind = TokKeyword
+			}
+			out = append(out, Token{Kind: kind, Text: text, Line: line})
+		case c == '"' || c == '\'':
+			quote := c
+			pos++
+			var buf []byte
+			for {
+				if pos >= len(src) {
+					return nil, errf(line, "unterminated string")
+				}
+				ch := src[pos]
+				if ch == quote {
+					pos++
+					break
+				}
+				if ch == '\n' {
+					return nil, errf(line, "newline in string")
+				}
+				if ch == '\\' {
+					pos++
+					e := at(0)
+					pos++
+					switch e {
+					case 'n':
+						buf = append(buf, '\n')
+					case 't':
+						buf = append(buf, '\t')
+					case 'r':
+						buf = append(buf, '\r')
+					case '0':
+						buf = append(buf, 0)
+					case '\\', '\'', '"':
+						buf = append(buf, e)
+					case 'x':
+						hi, lo := at(0), at(1)
+						if !isHex(hi) || !isHex(lo) {
+							return nil, errf(line, "bad \\x escape")
+						}
+						v, _ := strconv.ParseUint(src[pos:pos+2], 16, 8)
+						buf = append(buf, byte(v))
+						pos += 2
+					default:
+						return nil, errf(line, "unknown escape \\%c", e)
+					}
+					continue
+				}
+				buf = append(buf, ch)
+				pos++
+			}
+			out = append(out, Token{Kind: TokStr, Text: string(buf), Line: line})
+		default:
+			two := ""
+			if pos+1 < len(src) {
+				two = src[pos : pos+2]
+			}
+			switch two {
+			case "==", "~=", "<=", ">=", "..":
+				// ... is not supported; .. suffices for MiniLua.
+				out = append(out, Token{Kind: TokOp, Text: two, Line: line})
+				pos += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', '[', ']', '{', '}', ',', ';', ':', '.', '#':
+				out = append(out, Token{Kind: TokOp, Text: string(c), Line: line})
+				pos++
+			default:
+				return nil, errf(line, "unexpected character %q", string(c))
+			}
+		}
+	}
+	out = append(out, Token{Kind: TokEOF, Line: line})
+	return out, nil
+}
+
+func isHex(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isLuaNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isLuaNameChar(c byte) bool { return isLuaNameStart(c) || (c >= '0' && c <= '9') }

@@ -1,0 +1,214 @@
+package minilua
+
+import (
+	"chef/internal/lowlevel"
+	"chef/internal/symexpr"
+)
+
+// arrayLen returns the border of the array part (Lua's #).
+func (t *TableVal) arrayLen() int {
+	n := len(t.arr)
+	for n > 0 {
+		if _, isNil := t.arr[n-1].(NilVal); !isNil {
+			break
+		}
+		n--
+	}
+	return n
+}
+
+// hashKey computes the hash of a table key.
+func (vm *VM) hashKey(key Value) (lowlevel.SVal, *LuaError) {
+	if vm.cfg.HashNeutralization {
+		return c64(0), nil
+	}
+	switch k := key.(type) {
+	case IntVal:
+		return k.V, nil
+	case StrVal:
+		// Lua's string hash: h = h*31 ^ byte, seeded with the length.
+		h := c64(uint64(k.Len()))
+		for _, b := range k.B {
+			vm.m.Step(1)
+			h = lowlevel.XorV(lowlevel.MulV(h, c64(31)), lowlevel.ZExtV(b, symexpr.W64))
+		}
+		return h, nil
+	case BoolVal:
+		return lowlevel.ZExtV(k.B, symexpr.W64), nil
+	}
+	return lowlevel.SVal{}, luaErrf("table index is a %s value", key.TypeName())
+}
+
+func (vm *VM) bucketOf(h lowlevel.SVal) int {
+	b := lowlevel.AndV(h, c64(nBuckets-1))
+	if b.IsSymbolic() {
+		return int(vm.m.ConcretizeFork(llpcTableBucket, b)) & (nBuckets - 1)
+	}
+	return int(b.C) & (nBuckets - 1)
+}
+
+// arrayIndexOf resolves an integer key against the array part; ok is false
+// when the key belongs in the hash part. Symbolic in-range indices are
+// symbolic pointers and concretize by forking.
+func (vm *VM) arrayIndexOf(t *TableVal, k IntVal, forWrite bool) (int, bool) {
+	n := int64(len(t.arr))
+	hi := n
+	if forWrite {
+		hi = n + 1 // writing one past the end extends the array part
+	}
+	inRange := lowlevel.BoolAndV(
+		lowlevel.SleV(c64(1), k.V),
+		lowlevel.SleV(k.V, c64(uint64(hi))),
+	)
+	if !vm.m.Branch(llpcTableArrayIdx, inRange) {
+		return 0, false
+	}
+	v := k.V
+	if v.IsSymbolic() {
+		return int(vm.m.ConcretizeFork(llpcTableArrayIdx+1000, v)) - 1, true
+	}
+	return int(v.C) - 1, true
+}
+
+// indexGet implements t[k] (returns nil for missing keys, as Lua does).
+func (vm *VM) indexGet(tv, key Value) (Value, *LuaError) {
+	vm.m.Step(1)
+	switch t := tv.(type) {
+	case *TableVal:
+		if _, isNil := key.(NilVal); isNil {
+			return Nil, nil
+		}
+		if ik, ok := key.(IntVal); ok {
+			if idx, inArr := vm.arrayIndexOf(t, ik, false); inArr {
+				return t.arr[idx], nil
+			}
+		}
+		h, err := vm.hashKey(key)
+		if err != nil {
+			return nil, err
+		}
+		b := vm.bucketOf(h)
+		for _, e := range t.buckets[b] {
+			if e.deleted {
+				continue
+			}
+			vm.m.Step(1)
+			if vm.valuesEqualBranch(e.key, key) {
+				return e.val, nil
+			}
+		}
+		return Nil, nil
+	case StrVal:
+		// Indexing a string looks up the string library (s.sub etc. is not
+		// Lua, but s:method() routes through OpSelfField; plain indexing is
+		// an error).
+		return nil, luaErrf("attempt to index a string value")
+	}
+	return nil, luaErrf("attempt to index a %s value", tv.TypeName())
+}
+
+// indexSet implements t[k] = v, with nil assignment acting as deletion.
+func (vm *VM) indexSet(tv, key, val Value) *LuaError {
+	vm.m.Step(1)
+	t, ok := tv.(*TableVal)
+	if !ok {
+		return luaErrf("attempt to index a %s value", tv.TypeName())
+	}
+	if _, isNil := key.(NilVal); isNil {
+		return luaErrf("table index is nil")
+	}
+	if ik, ok := key.(IntVal); ok {
+		if idx, inArr := vm.arrayIndexOf(t, ik, true); inArr {
+			if idx == len(t.arr) {
+				t.arr = append(t.arr, val)
+			} else {
+				t.arr[idx] = val
+			}
+			return nil
+		}
+	}
+	h, err := vm.hashKey(key)
+	if err != nil {
+		return err
+	}
+	b := vm.bucketOf(h)
+	_, isNilVal := val.(NilVal)
+	for _, e := range t.buckets[b] {
+		if e.deleted {
+			continue
+		}
+		vm.m.Step(1)
+		if vm.valuesEqualBranch(e.key, key) {
+			if isNilVal {
+				e.deleted = true
+				t.hsize--
+			} else {
+				e.val = val
+			}
+			return nil
+		}
+	}
+	if isNilVal {
+		return nil
+	}
+	e := &tableEntry{key: key, val: val}
+	t.buckets[b] = append(t.buckets[b], e)
+	t.order = append(t.order, e)
+	t.hsize++
+	return nil
+}
+
+// luaIterator drives generic for loops.
+type luaIterator interface {
+	Value
+	next(vm *VM) (k, v Value, more bool)
+}
+
+// pairsIter iterates the array part then the hash part.
+type pairsIter struct {
+	t  *TableVal
+	ai int
+	hi int
+}
+
+func (*pairsIter) TypeName() string { return "iterator" }
+
+func (it *pairsIter) next(vm *VM) (Value, Value, bool) {
+	vm.m.Step(1)
+	for it.ai < len(it.t.arr) {
+		i := it.ai
+		it.ai++
+		if _, isNil := it.t.arr[i].(NilVal); !isNil {
+			return MkInt(int64(i + 1)), it.t.arr[i], true
+		}
+	}
+	for it.hi < len(it.t.order) {
+		e := it.t.order[it.hi]
+		it.hi++
+		if !e.deleted {
+			return e.key, e.val, true
+		}
+	}
+	return nil, nil, false
+}
+
+// ipairsIter iterates 1..n of the array part, stopping at the first nil.
+type ipairsIter struct {
+	t *TableVal
+	i int
+}
+
+func (*ipairsIter) TypeName() string { return "iterator" }
+
+func (it *ipairsIter) next(vm *VM) (Value, Value, bool) {
+	vm.m.Step(1)
+	if it.i >= len(it.t.arr) {
+		return nil, nil, false
+	}
+	v := it.t.arr[it.i]
+	if _, isNil := v.(NilVal); isNil {
+		return nil, nil, false
+	}
+	it.i++
+	return MkInt(int64(it.i)), v, true
+}

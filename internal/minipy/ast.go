@@ -1,0 +1,225 @@
+package minipy
+
+// The AST mirrors the subset of Python MiniPy supports. Nodes carry source
+// lines for coverage mapping and error reports.
+
+// Node is the common interface of AST nodes.
+type Node interface{ nodeLine() int }
+
+type base struct{ Line int }
+
+func (b base) nodeLine() int { return b.Line }
+
+// Expressions ----------------------------------------------------------
+
+// NumLit is an integer literal.
+type NumLit struct {
+	base
+	Value int64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	base
+	Value string
+}
+
+// NameExpr references a variable.
+type NameExpr struct {
+	base
+	Name string
+}
+
+// ConstExpr is None/True/False.
+type ConstExpr struct {
+	base
+	Kind string // "None", "True", "False"
+}
+
+// ListLit is a list display.
+type ListLit struct {
+	base
+	Elems []Node
+}
+
+// DictLit is a dict display.
+type DictLit struct {
+	base
+	Keys, Values []Node
+}
+
+// BinOp is a binary arithmetic/comparison operation.
+type BinOp struct {
+	base
+	Op   string // + - * / // % == != < <= > >= in notin
+	L, R Node
+}
+
+// BoolOp is short-circuit and/or.
+type BoolOp struct {
+	base
+	Op   string // and, or
+	L, R Node
+}
+
+// UnaryOp is -x or not x.
+type UnaryOp struct {
+	base
+	Op string // "-", "not"
+	X  Node
+}
+
+// CallExpr invokes a callable.
+type CallExpr struct {
+	base
+	Fn   Node
+	Args []Node
+}
+
+// AttrExpr accesses obj.name.
+type AttrExpr struct {
+	base
+	X    Node
+	Name string
+}
+
+// IndexExpr accesses obj[idx].
+type IndexExpr struct {
+	base
+	X, Idx Node
+}
+
+// SliceExpr accesses obj[lo:hi]; Lo/Hi may be nil.
+type SliceExpr struct {
+	base
+	X      Node
+	Lo, Hi Node
+}
+
+// Statements ------------------------------------------------------------
+
+// Module is the root: a list of statements.
+type Module struct {
+	base
+	Body []Node
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	base
+	X Node
+}
+
+// AssignStmt is target = value, where target is a name, index, slice or
+// attribute.
+type AssignStmt struct {
+	base
+	Target Node
+	Value  Node
+}
+
+// AugAssignStmt is target op= value.
+type AugAssignStmt struct {
+	base
+	Op     string // + - * / % //
+	Target Node
+	Value  Node
+}
+
+// IfStmt with optional elif chain flattened into Else.
+type IfStmt struct {
+	base
+	Cond Node
+	Then []Node
+	Else []Node // may be nil
+}
+
+// WhileStmt loops while Cond holds.
+type WhileStmt struct {
+	base
+	Cond Node
+	Body []Node
+}
+
+// ForStmt iterates Var (or Var,Var2) over Iter.
+type ForStmt struct {
+	base
+	Var  string
+	Var2 string // second unpack target, "" when absent
+	Iter Node
+	Body []Node
+}
+
+// DefStmt defines a function or method.
+type DefStmt struct {
+	base
+	Name     string
+	Params   []string
+	Defaults []Node // aligned to the tail of Params
+	Body     []Node
+}
+
+// ClassStmt defines a class (methods only).
+type ClassStmt struct {
+	base
+	Name    string
+	Base    string // "" when absent
+	Methods []*DefStmt
+	Assigns []*AssignStmt // class-level constant assignments
+}
+
+// ReturnStmt returns Value (nil for bare return).
+type ReturnStmt struct {
+	base
+	Value Node
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ base }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ base }
+
+// PassStmt does nothing.
+type PassStmt struct{ base }
+
+// RaiseStmt raises an exception: raise Name(args) or bare re-raise.
+type RaiseStmt struct {
+	base
+	Exc Node // nil for bare raise
+}
+
+// TryStmt is try/except/finally.
+type TryStmt struct {
+	base
+	Body     []Node
+	Handlers []ExceptClause
+	Finally  []Node
+}
+
+// ExceptClause handles exceptions of type Type (empty = all), binding As.
+type ExceptClause struct {
+	Line int
+	Type string
+	As   string
+	Body []Node
+}
+
+// GlobalStmt declares names as module-globals inside a function.
+type GlobalStmt struct {
+	base
+	Names []string
+}
+
+// DelStmt deletes a dict entry: del d[k].
+type DelStmt struct {
+	base
+	Target Node
+}
+
+// AssertStmt raises AssertionError when Cond is false.
+type AssertStmt struct {
+	base
+	Cond Node
+	Msg  Node // optional
+}

@@ -1,0 +1,290 @@
+package minipy
+
+import (
+	"fmt"
+
+	"chef/internal/lowlevel"
+	"chef/internal/symexpr"
+)
+
+// BigInt is MiniPy's arbitrary-precision integer, mirroring CPython's long:
+// a sign and a little-endian vector of base-2^15 digits. Digit values are
+// concolic, so interpreter loops over digit vectors fork low-level paths —
+// the phenomenon behind the paper's "average" example (Fig. 2), where a
+// single high-level path spawns many low-level ones.
+type BigInt struct {
+	Neg bool
+	D   []lowlevel.SVal // width-64 values, each in [0, bigBase)
+}
+
+const (
+	bigShift = 15
+	bigBase  = 1 << bigShift
+	bigMask  = bigBase - 1
+)
+
+func (b *BigInt) reprConcrete() string {
+	var v int64
+	for i := len(b.D) - 1; i >= 0; i-- {
+		v = v*bigBase + int64(b.D[i].C)
+	}
+	if b.Neg {
+		v = -v
+	}
+	return fmt.Sprintf("%dL", v)
+}
+
+// concreteMag returns the concrete magnitude (for tests and repr; valid for
+// values fitting int64).
+func (b *BigInt) concreteMag() uint64 {
+	var v uint64
+	for i := len(b.D) - 1; i >= 0; i-- {
+		v = v*bigBase + b.D[i].C
+	}
+	return v
+}
+
+const (
+	smallMax = int64(1<<31 - 1)
+	smallMin = int64(-(1 << 31))
+)
+
+// smallFits branches on whether a width-64 value fits the smallint range,
+// the CPython int/long promotion check.
+func (vm *VM) smallFits(v lowlevel.SVal) bool {
+	over := lowlevel.BoolOrV(
+		lowlevel.SltV(lowlevel.ConcreteVal(uint64(smallMax), symexpr.W64), v),
+		lowlevel.SltV(v, lowlevel.ConcreteVal(0xFFFFFFFF80000000, symexpr.W64)), // smallMin as two's complement
+	)
+	return !vm.m.Branch(llpcIntOverflow, over)
+}
+
+// bigFromSmall promotes a width-64 small value to a bignum. The sign is
+// resolved by branching, as the interpreter's promotion code does.
+func (vm *VM) bigFromSmall(v lowlevel.SVal) *BigInt {
+	neg := vm.m.Branch(llpcIntSign, lowlevel.SltV(v, lowlevel.ConcreteVal(0, symexpr.W64)))
+	mag := v
+	if neg {
+		mag = lowlevel.NegV(v)
+	}
+	out := &BigInt{Neg: neg}
+	for i := 0; i < 64; i += bigShift {
+		d := lowlevel.AndV(lowlevel.LShrV(mag, lowlevel.ConcreteVal(uint64(i), symexpr.W64)),
+			lowlevel.ConcreteVal(bigMask, symexpr.W64))
+		out.D = append(out.D, d)
+	}
+	return vm.bigNormalize(out)
+}
+
+// bigNormalize strips leading zero digits, branching per digit exactly as an
+// interpreter's normalization loop does on symbolic lengths.
+func (vm *VM) bigNormalize(b *BigInt) *BigInt {
+	n := len(b.D)
+	for n > 1 {
+		top := b.D[n-1]
+		if vm.m.Branch(llpcBigNormalize, lowlevel.NeV(top, lowlevel.ConcreteVal(0, symexpr.W64))) {
+			break
+		}
+		n--
+	}
+	b.D = b.D[:n]
+	return b
+}
+
+// bigCmpMag compares magnitudes, returning -1, 0 or 1, branching per digit.
+func (vm *VM) bigCmpMag(a, b *BigInt) int {
+	if len(a.D) != len(b.D) {
+		if len(a.D) < len(b.D) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(a.D) - 1; i >= 0; i-- {
+		vm.m.Step(1)
+		if vm.m.Branch(llpcBigCmpDigit, lowlevel.UltV(a.D[i], b.D[i])) {
+			return -1
+		}
+		if vm.m.Branch(llpcBigCmpDigit, lowlevel.UltV(b.D[i], a.D[i])) {
+			return 1
+		}
+	}
+	return 0
+}
+
+// bigCmp compares signed bignums.
+func (vm *VM) bigCmp(a, b *BigInt) int {
+	if a.Neg != b.Neg {
+		if vm.bigIsZero(a) && vm.bigIsZero(b) {
+			return 0
+		}
+		if a.Neg {
+			return -1
+		}
+		return 1
+	}
+	c := vm.bigCmpMag(a, b)
+	if a.Neg {
+		return -c
+	}
+	return c
+}
+
+func (vm *VM) bigIsZero(b *BigInt) bool {
+	for _, d := range b.D {
+		if vm.m.Branch(llpcBigNormalize, lowlevel.NeV(d, lowlevel.ConcreteVal(0, symexpr.W64))) {
+			return false
+		}
+	}
+	return true
+}
+
+func c64(v uint64) lowlevel.SVal { return lowlevel.ConcreteVal(v, symexpr.W64) }
+
+// bigAddMag adds magnitudes with a carry chain.
+func (vm *VM) bigAddMag(a, b *BigInt) []lowlevel.SVal {
+	n := len(a.D)
+	if len(b.D) > n {
+		n = len(b.D)
+	}
+	out := make([]lowlevel.SVal, 0, n+1)
+	carry := c64(0)
+	for i := 0; i < n; i++ {
+		vm.m.Step(1)
+		s := carry
+		if i < len(a.D) {
+			s = lowlevel.AddV(s, a.D[i])
+		}
+		if i < len(b.D) {
+			s = lowlevel.AddV(s, b.D[i])
+		}
+		out = append(out, lowlevel.AndV(s, c64(bigMask)))
+		carry = lowlevel.LShrV(s, c64(bigShift))
+	}
+	out = append(out, carry)
+	return out
+}
+
+// bigSubMag computes |a| - |b| assuming |a| >= |b|, with a borrow chain.
+func (vm *VM) bigSubMag(a, b *BigInt) []lowlevel.SVal {
+	out := make([]lowlevel.SVal, 0, len(a.D))
+	borrow := c64(0)
+	for i := 0; i < len(a.D); i++ {
+		vm.m.Step(1)
+		s := lowlevel.SubV(a.D[i], borrow)
+		if i < len(b.D) {
+			s = lowlevel.SubV(s, b.D[i])
+		}
+		out = append(out, lowlevel.AndV(s, c64(bigMask)))
+		// Borrow is bit 63 of the (wrapped) subtraction result shifted
+		// down: if the subtraction went negative, s is huge unsigned.
+		borrow = lowlevel.AndV(lowlevel.LShrV(s, c64(63)), c64(1))
+	}
+	return out
+}
+
+// bigAdd adds signed bignums.
+func (vm *VM) bigAdd(a, b *BigInt) *BigInt {
+	if a.Neg == b.Neg {
+		return vm.bigNormalize(&BigInt{Neg: a.Neg, D: vm.bigAddMag(a, b)})
+	}
+	switch vm.bigCmpMag(a, b) {
+	case 0:
+		return &BigInt{D: []lowlevel.SVal{c64(0)}}
+	case 1:
+		return vm.bigNormalize(&BigInt{Neg: a.Neg, D: vm.bigSubMag(a, b)})
+	default:
+		return vm.bigNormalize(&BigInt{Neg: b.Neg, D: vm.bigSubMag(b, a)})
+	}
+}
+
+// bigNeg returns -a.
+func (vm *VM) bigNeg(a *BigInt) *BigInt {
+	return &BigInt{Neg: !a.Neg && !vm.bigIsZero(a), D: a.D}
+}
+
+// bigSub subtracts signed bignums.
+func (vm *VM) bigSub(a, b *BigInt) *BigInt {
+	return vm.bigAdd(a, vm.bigNeg(b))
+}
+
+// bigMul multiplies signed bignums with the schoolbook algorithm.
+func (vm *VM) bigMul(a, b *BigInt) *BigInt {
+	n, m := len(a.D), len(b.D)
+	acc := make([]lowlevel.SVal, n+m)
+	for i := range acc {
+		acc[i] = c64(0)
+	}
+	for i := 0; i < n; i++ {
+		carry := c64(0)
+		for j := 0; j < m; j++ {
+			vm.m.Step(1)
+			t := lowlevel.AddV(lowlevel.AddV(acc[i+j], lowlevel.MulV(a.D[i], b.D[j])), carry)
+			acc[i+j] = lowlevel.AndV(t, c64(bigMask))
+			carry = lowlevel.LShrV(t, c64(bigShift))
+		}
+		acc[i+m] = lowlevel.AddV(acc[i+m], carry)
+	}
+	return vm.bigNormalize(&BigInt{Neg: a.Neg != b.Neg, D: acc})
+}
+
+// bigDivModSmall divides a magnitude by a concrete small divisor, returning
+// quotient digits and the remainder. The divisor is concrete (MiniPy's long
+// division by symbolic divisors concretizes first, like CPython's slow path
+// would explode; packages only divide by constants).
+func (vm *VM) bigDivModSmall(a *BigInt, div uint64) ([]lowlevel.SVal, lowlevel.SVal) {
+	q := make([]lowlevel.SVal, len(a.D))
+	rem := c64(0)
+	for i := len(a.D) - 1; i >= 0; i-- {
+		vm.m.Step(1)
+		cur := lowlevel.AddV(lowlevel.MulV(rem, c64(bigBase)), a.D[i])
+		q[i] = lowlevel.UDivV(cur, c64(div))
+		rem = lowlevel.URemV(cur, c64(div))
+	}
+	return q, rem
+}
+
+// bigToSmall demotes a bignum that fits the small range back to a width-64
+// value; ok is false when it does not fit (checked by branching on the top
+// digits).
+func (vm *VM) bigToSmall(b *BigInt) (lowlevel.SVal, bool) {
+	// Fits when at most 3 digits (45 bits < 63) — a concrete structural
+	// check followed by value reconstruction.
+	if len(b.D) > 3 {
+		return lowlevel.SVal{}, false
+	}
+	v := c64(0)
+	for i := len(b.D) - 1; i >= 0; i-- {
+		v = lowlevel.AddV(lowlevel.MulV(v, c64(bigBase)), b.D[i])
+	}
+	if b.Neg {
+		v = lowlevel.NegV(v)
+	}
+	return v, true
+}
+
+// bigToStr converts to decimal, looping divmod-by-10 while the quotient is
+// nonzero — each iteration branches, so symbolic magnitudes fork one path
+// per possible digit count.
+func (vm *VM) bigToStr(b *BigInt) StrVal {
+	var digits []lowlevel.SVal
+	cur := &BigInt{D: append([]lowlevel.SVal(nil), b.D...)}
+	for i := 0; ; i++ {
+		q, r := vm.bigDivModSmall(cur, 10)
+		digits = append(digits, lowlevel.TruncV(lowlevel.AddV(r, c64('0')), symexpr.W8))
+		cur = vm.bigNormalize(&BigInt{D: q})
+		if !vm.m.Branch(llpcBigToStrLoop, lowlevel.NeV(cur.D[len(cur.D)-1], c64(0))) && len(cur.D) == 1 {
+			break
+		}
+		if i > 64 { // structural bound: 64 decimal digits cover 4 bigBase digits
+			break
+		}
+	}
+	var out []lowlevel.SVal
+	if b.Neg {
+		out = append(out, lowlevel.ConcreteVal('-', symexpr.W8))
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		out = append(out, digits[i])
+	}
+	return StrVal{B: out}
+}

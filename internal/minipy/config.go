@@ -1,0 +1,118 @@
+package minipy
+
+import "chef/internal/lowlevel"
+
+// Config selects which of the §4.2 interpreter optimizations are compiled
+// in, mirroring the paper's -with-symbex configure flag. The zero value is
+// the vanilla interpreter.
+type Config struct {
+	// HashNeutralization replaces the string and integer hash functions
+	// with a degenerate constant hash, turning hash-table lookups into list
+	// traversals instead of solver-hostile hash inversions and per-bucket
+	// forks.
+	HashNeutralization bool
+	// AvoidSymbolicPointers concretizes allocation sizes through
+	// upper_bound instead of forking per feasible size, and disables the
+	// interning of small integers and single-character strings whose cache
+	// lookups otherwise turn values into symbolic pointers.
+	AvoidSymbolicPointers bool
+	// FastPathElimination removes short-circuited special cases (such as
+	// early-exit string comparison) so whole buffers are processed on a
+	// single execution path.
+	FastPathElimination bool
+}
+
+// Vanilla is the unmodified interpreter build.
+var Vanilla = Config{}
+
+// Optimized is the fully optimized build (the paper's "+ Fast Path
+// Elimination" configuration).
+var Optimized = Config{
+	HashNeutralization:    true,
+	AvoidSymbolicPointers: true,
+	FastPathElimination:   true,
+}
+
+// OptLevels returns the four cumulative builds of Fig. 11: no optimizations,
+// + symbolic pointer avoidance, + hash neutralization, + fast path
+// elimination.
+func OptLevels() []Config {
+	return []Config{
+		{},
+		{AvoidSymbolicPointers: true},
+		{AvoidSymbolicPointers: true, HashNeutralization: true},
+		{AvoidSymbolicPointers: true, HashNeutralization: true, FastPathElimination: true},
+	}
+}
+
+// OptLevelNames returns display names aligned with OptLevels.
+func OptLevelNames() []string {
+	return []string{
+		"No Optimizations",
+		"+ Symbolic Pointer Avoidance",
+		"+ Hash Neutralization",
+		"+ Fast Path Elimination",
+	}
+}
+
+// Low-level program counters of the MiniPy interpreter: unique identifiers
+// for every branch or concretization site in the interpreter implementation,
+// playing the role of x86 instruction addresses under S2E. Sites are grouped
+// by the interpreter component they belong to.
+const (
+	llpcBase lowlevel.LLPC = 0x1000 + iota
+
+	// VM dispatch.
+	llpcJumpCond  // conditional jump on a truth value
+	llpcBoolTruth // truthiness of a value
+	llpcForIter   // loop-continuation branch
+	llpcExcMatch  // exception type match (concrete)
+	llpcCompareDispatch
+
+	// Integer runtime.
+	llpcIntOverflow // smallint overflow check promoting to bignum
+	llpcIntSign     // sign branch in division/modulo adjustment
+	llpcIntDivZero  // division-by-zero check
+	llpcIntIntern   // small-integer interning cache lookup
+	llpcIntEq
+	llpcIntLt
+	llpcIntNonZero
+
+	// Bignum runtime.
+	llpcBigCarry     // carry propagation branch
+	llpcBigNormalize // top-digit-zero normalization branch
+	llpcBigCmpDigit  // per-digit comparison branch
+	llpcBigToStrLoop // quotient-nonzero branch in decimal conversion
+
+	// String runtime.
+	llpcStrEqFast     // fast-path early-exit byte comparison
+	llpcStrEqFinal    // single comparison of accumulated equality flag
+	llpcStrLtByte     // lexicographic comparison byte branch
+	llpcStrFindPos    // per-position match branch in find
+	llpcStrCharIntern // single-character string interning table lookup
+	llpcStrHashBucket // hash-table bucket selection on string hash
+	llpcStrIsSpace
+	llpcStrIsDigit
+	llpcStrIsAlpha
+	llpcStrStrip
+	llpcStrSplit
+	llpcStrReplace
+	llpcStrCount
+	llpcStrAllocSize // symbolic allocation size (string repeat, int-to-str)
+
+	// Dict runtime.
+	llpcDictBucket // bucket selection fork
+	llpcDictKeyCmp // key comparison while scanning a bucket
+	llpcDictLookup
+
+	// List runtime.
+	llpcListIndexCheck
+	llpcListEq
+
+	// Builtins and misc.
+	llpcBuiltinOrd
+	llpcBuiltinChr
+	llpcBuiltinInt // int(str) digit-validity branches
+	llpcRangeCond
+	llpcAssume
+)

@@ -1,0 +1,212 @@
+package minipy
+
+import (
+	"strings"
+
+	"chef/internal/lowlevel"
+	"chef/internal/symexpr"
+)
+
+// DictVal is MiniPy's dictionary: an open-hashing table with a fixed bucket
+// count, faithful to the interpreter structure that makes symbolic keys
+// expensive: inserting a symbolic key (a) asks the solver to reason about
+// the hash function and (b) forks per feasible bucket — unless the §4.2
+// hash-neutralization optimization degenerates the hash.
+type DictVal struct {
+	buckets [nBuckets][]*dictEntry
+	order   []*dictEntry // insertion order, for deterministic iteration
+	size    int
+}
+
+const nBuckets = 8
+
+type dictEntry struct {
+	key     Value
+	val     Value
+	deleted bool
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *DictVal { return &DictVal{} }
+
+// Len returns the number of live entries.
+func (d *DictVal) Len() int { return d.size }
+
+// TypeName implements Value.
+func (*DictVal) TypeName() string { return "dict" }
+
+func (d *DictVal) reprConcrete() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for _, e := range d.order {
+		if e.deleted {
+			continue
+		}
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		sb.WriteString(Repr(e.key))
+		sb.WriteString(": ")
+		sb.WriteString(Repr(e.val))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// hashValue computes the hash of a key as a width-64 value. With hash
+// neutralization every key hashes to the same constant, honoring the hash
+// contract while removing solver-hostile constraints.
+func (vm *VM) hashValue(key Value) (lowlevel.SVal, *Exc) {
+	if vm.cfg.HashNeutralization {
+		return c64(0), nil
+	}
+	switch k := key.(type) {
+	case IntVal:
+		if k.Big != nil {
+			h := c64(0)
+			for _, dg := range k.Big.D {
+				vm.m.Step(1)
+				h = lowlevel.AddV(lowlevel.MulV(h, c64(1000003)), dg)
+			}
+			return h, nil
+		}
+		return k.V, nil
+	case StrVal:
+		// CPython 2.x string hash: h = h*1000003 ^ c, seeded with the first
+		// byte, finalized with the length.
+		h := c64(uint64(k.Len()))
+		for _, b := range k.B {
+			vm.m.Step(1)
+			h = lowlevel.XorV(lowlevel.MulV(h, c64(1000003)), lowlevel.ZExtV(b, symexpr.W64))
+		}
+		return h, nil
+	case BoolVal:
+		return lowlevel.ZExtV(k.B, symexpr.W64), nil
+	case NoneVal:
+		return c64(0x23d4), nil
+	}
+	return lowlevel.SVal{}, excf("TypeError", "unhashable type: '%s'", key.TypeName())
+}
+
+// bucketIndex selects the bucket for a hash. A symbolic hash makes the
+// bucket a symbolic table index — the engine forks one state per feasible
+// bucket, strategy (a) of the paper's symbolic-pointer discussion.
+func (vm *VM) bucketIndex(h lowlevel.SVal) int {
+	b := lowlevel.AndV(h, c64(nBuckets-1))
+	if b.IsSymbolic() {
+		return int(vm.m.ConcretizeFork(llpcDictBucket, b)) & (nBuckets - 1)
+	}
+	return int(b.C) & (nBuckets - 1)
+}
+
+// dictSet inserts or replaces a key.
+func (vm *VM) dictSet(d *DictVal, key, val Value) *Exc {
+	h, exc := vm.hashValue(key)
+	if exc != nil {
+		return exc
+	}
+	idx := vm.bucketIndex(h)
+	for _, e := range d.buckets[idx] {
+		if e.deleted {
+			continue
+		}
+		vm.m.Step(1)
+		eq, exc := vm.valuesEqualBranch(e.key, key)
+		if exc != nil {
+			return exc
+		}
+		if eq {
+			e.val = val
+			return nil
+		}
+	}
+	e := &dictEntry{key: key, val: val}
+	d.buckets[idx] = append(d.buckets[idx], e)
+	d.order = append(d.order, e)
+	d.size++
+	return nil
+}
+
+// dictLookup finds a key, scanning the bucket with per-key comparison
+// branches.
+func (vm *VM) dictLookup(d *DictVal, key Value) (Value, bool, *Exc) {
+	h, exc := vm.hashValue(key)
+	if exc != nil {
+		return nil, false, exc
+	}
+	idx := vm.bucketIndex(h)
+	for _, e := range d.buckets[idx] {
+		if e.deleted {
+			continue
+		}
+		vm.m.Step(1)
+		eq, exc := vm.valuesEqualBranch(e.key, key)
+		if exc != nil {
+			return nil, false, exc
+		}
+		if eq {
+			return e.val, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// dictDelete removes a key, reporting whether it existed.
+func (vm *VM) dictDelete(d *DictVal, key Value) (bool, *Exc) {
+	h, exc := vm.hashValue(key)
+	if exc != nil {
+		return false, exc
+	}
+	idx := vm.bucketIndex(h)
+	for _, e := range d.buckets[idx] {
+		if e.deleted {
+			continue
+		}
+		vm.m.Step(1)
+		eq, exc := vm.valuesEqualBranch(e.key, key)
+		if exc != nil {
+			return false, exc
+		}
+		if eq {
+			e.deleted = true
+			d.size--
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// dictKeys returns the live keys in insertion order.
+func (d *DictVal) dictKeys() []Value {
+	out := make([]Value, 0, d.size)
+	for _, e := range d.order {
+		if !e.deleted {
+			out = append(out, e.key)
+		}
+	}
+	return out
+}
+
+// dictValues returns the live values in insertion order.
+func (d *DictVal) dictValues() []Value {
+	out := make([]Value, 0, d.size)
+	for _, e := range d.order {
+		if !e.deleted {
+			out = append(out, e.val)
+		}
+	}
+	return out
+}
+
+// dictItems returns [k, v] pairs in insertion order.
+func (d *DictVal) dictItems() []Value {
+	out := make([]Value, 0, d.size)
+	for _, e := range d.order {
+		if !e.deleted {
+			out = append(out, &ListVal{Items: []Value{e.key, e.val}})
+		}
+	}
+	return out
+}

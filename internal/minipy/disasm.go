@@ -1,0 +1,100 @@
+package minipy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders a compiled program's bytecode in the style of CPython's dis
+// module: one block per code object, with per-instruction offsets, source
+// lines, opcode mnemonics and resolved operands. It exists for debugging
+// interpreter and compiler changes and for inspecting the HLPCs CHEF sees.
+func Disasm(p *Program) string {
+	var sb strings.Builder
+	for _, code := range p.Blocks {
+		fmt.Fprintf(&sb, "block %d <%s>", code.BlockID, code.Name)
+		if len(code.Params) > 0 {
+			fmt.Fprintf(&sb, " params=%s", strings.Join(code.Params, ","))
+		}
+		sb.WriteString(":\n")
+		lastLine := -1
+		for i, in := range code.Instrs {
+			lineCol := "    "
+			if in.Line != lastLine {
+				lineCol = fmt.Sprintf("%4d", in.Line)
+				lastLine = in.Line
+			}
+			fmt.Fprintf(&sb, "%s %5d  %-20s %s\n", lineCol, i, in.Op, operandString(code, in))
+		}
+	}
+	return sb.String()
+}
+
+func operandString(code *Code, in Instr) string {
+	switch in.Op {
+	case OpLoadConst, OpMakeFunc, OpMakeClass:
+		if int(in.Arg) < len(code.Consts) {
+			c := code.Consts[in.Arg]
+			switch x := c.(type) {
+			case *CodeVal:
+				return fmt.Sprintf("%d (<code %s>)", in.Arg, x.Code.Name)
+			case *ClassSpecVal:
+				return fmt.Sprintf("%d (<class %s>)", in.Arg, x.Spec.Name)
+			default:
+				return fmt.Sprintf("%d (%s)", in.Arg, Repr(c))
+			}
+		}
+	case OpLoadName, OpStoreName, OpDelName, OpAttr, OpStoreAttr, OpExcMatch:
+		if int(in.Arg) < len(code.Names) {
+			return fmt.Sprintf("%d (%s)", in.Arg, code.Names[in.Arg])
+		}
+	case OpBindExc:
+		if in.Arg < 0 {
+			return "(discard)"
+		}
+		if int(in.Arg) < len(code.Names) {
+			return fmt.Sprintf("%d (%s)", in.Arg, code.Names[in.Arg])
+		}
+	case OpJump, OpJumpIfFalse, OpJumpIfTrue, OpJumpIfFalseKeep, OpJumpIfTrueKeep,
+		OpForIter, OpSetupExcept, OpSetupFinally:
+		return fmt.Sprintf("-> %d", in.Arg)
+	case OpBinary:
+		return binOpName(int(in.Arg))
+	case OpCompare:
+		return cmpOpName(int(in.Arg))
+	case OpCall, OpBuildList, OpBuildDict, OpPrint:
+		return fmt.Sprintf("n=%d", in.Arg)
+	case OpSlice:
+		return fmt.Sprintf("lo=%v hi=%v", in.Arg&1 != 0, in.Arg&2 != 0)
+	case OpRaise:
+		switch in.Arg {
+		case 0:
+			return "(bare)"
+		case 2:
+			return "(rethrow)"
+		}
+	}
+	return ""
+}
+
+func cmpOpName(kind int) string {
+	switch kind {
+	case cmpEq:
+		return "=="
+	case cmpNe:
+		return "!="
+	case cmpLt:
+		return "<"
+	case cmpLe:
+		return "<="
+	case cmpGt:
+		return ">"
+	case cmpGe:
+		return ">="
+	case cmpIn:
+		return "in"
+	case cmpNotIn:
+		return "not in"
+	}
+	return "?"
+}

@@ -1,0 +1,279 @@
+package minipy
+
+import (
+	"chef/internal/lowlevel"
+)
+
+// iterator is the internal protocol driven by FOR_ITER.
+type iterator interface {
+	Value
+	next(vm *VM) (Value, bool, *Exc)
+}
+
+type listIter struct {
+	items []Value
+	idx   int
+}
+
+func (*listIter) TypeName() string { return "listiterator" }
+
+func (it *listIter) next(vm *VM) (Value, bool, *Exc) {
+	vm.m.Step(1)
+	if it.idx >= len(it.items) {
+		return nil, false, nil
+	}
+	v := it.items[it.idx]
+	it.idx++
+	return v, true, nil
+}
+
+type strIter struct {
+	s   StrVal
+	idx int
+}
+
+func (*strIter) TypeName() string { return "striterator" }
+
+func (it *strIter) next(vm *VM) (Value, bool, *Exc) {
+	vm.m.Step(1)
+	if it.idx >= it.s.Len() {
+		return nil, false, nil
+	}
+	v := vm.strIndexChar(it.s, it.idx)
+	it.idx++
+	return v, true, nil
+}
+
+// rangeIter iterates 0..stop (or start..stop with step). A symbolic stop
+// value branches on every iteration — the input-dependent loop of §3.2.
+type rangeIter struct {
+	cur  lowlevel.SVal
+	stop lowlevel.SVal
+	step int64
+}
+
+func (*rangeIter) TypeName() string { return "rangeiterator" }
+
+func (it *rangeIter) next(vm *VM) (Value, bool, *Exc) {
+	vm.m.Step(1)
+	var cond lowlevel.SVal
+	if it.step > 0 {
+		cond = lowlevel.SltV(it.cur, it.stop)
+	} else {
+		cond = lowlevel.SltV(it.stop, it.cur)
+	}
+	if !vm.m.Branch(llpcRangeCond, cond) {
+		return nil, false, nil
+	}
+	v := it.cur
+	it.cur = lowlevel.AddV(it.cur, c64(uint64(it.step)))
+	return IntVal{V: v}, true, nil
+}
+
+// getIter builds an iterator for a value.
+func (vm *VM) getIter(v Value) (Value, *Exc) {
+	vm.m.Step(1)
+	switch x := v.(type) {
+	case *ListVal:
+		// Iterate over a snapshot, like CPython list iterators do by index;
+		// a snapshot keeps replay deterministic under mutation.
+		return &listIter{items: append([]Value(nil), x.Items...)}, nil
+	case StrVal:
+		return &strIter{s: x}, nil
+	case *DictVal:
+		return &listIter{items: x.dictKeys()}, nil
+	case iterator:
+		return x, nil
+	}
+	return nil, excf("TypeError", "'%s' object is not iterable", v.TypeName())
+}
+
+// index implements obj[idx].
+func (vm *VM) index(obj, idx Value) (Value, *Exc) {
+	vm.m.Step(1)
+	switch o := obj.(type) {
+	case StrVal:
+		i, e := vm.seqIndex(idx, o.Len(), "string index out of range")
+		if e != nil {
+			return nil, e
+		}
+		return vm.strIndexChar(o, i), nil
+	case *ListVal:
+		i, e := vm.seqIndex(idx, len(o.Items), "list index out of range")
+		if e != nil {
+			return nil, e
+		}
+		return o.Items[i], nil
+	case *DictVal:
+		v, found, e := vm.dictLookup(o, idx)
+		if e != nil {
+			return nil, e
+		}
+		if !found {
+			ks, _ := vm.str(idx)
+			return nil, excf("KeyError", "%s", ks.Concrete())
+		}
+		return v, nil
+	}
+	return nil, excf("TypeError", "'%s' object is not subscriptable", obj.TypeName())
+}
+
+// seqIndex resolves a possibly-negative, possibly-symbolic index against a
+// concrete length, branching on the bounds checks like the interpreter's
+// index-resolution code.
+func (vm *VM) seqIndex(idx Value, n int, msg string) (int, *Exc) {
+	iv, ok := asInt(idx)
+	if !ok {
+		return 0, excf("TypeError", "indices must be integers, not %s", idx.TypeName())
+	}
+	if iv.Big != nil {
+		return 0, excf("IndexError", "%s", msg)
+	}
+	v := iv.V
+	if vm.m.Branch(llpcListIndexCheck, lowlevel.SltV(v, c64(0))) {
+		v = lowlevel.AddV(v, c64(uint64(n)))
+	}
+	inBounds := lowlevel.BoolAndV(
+		lowlevel.SleV(c64(0), v),
+		lowlevel.SltV(v, c64(uint64(n))),
+	)
+	if !vm.m.Branch(llpcListIndexCheck, inBounds) {
+		return 0, excf("IndexError", "%s", msg)
+	}
+	// The resolved index selects a memory location: a symbolic value here is
+	// a symbolic pointer, concretized by forking per feasible slot.
+	if v.IsSymbolic() {
+		return int(vm.m.ConcretizeFork(llpcListIndexCheck+1000, v)), nil
+	}
+	return int(v.C), nil
+}
+
+// storeIndex implements obj[idx] = val.
+func (vm *VM) storeIndex(obj, idx, val Value) *Exc {
+	vm.m.Step(1)
+	switch o := obj.(type) {
+	case *ListVal:
+		i, e := vm.seqIndex(idx, len(o.Items), "list assignment index out of range")
+		if e != nil {
+			return e
+		}
+		o.Items[i] = val
+		return nil
+	case *DictVal:
+		return vm.dictSet(o, idx, val)
+	}
+	return excf("TypeError", "'%s' object does not support item assignment", obj.TypeName())
+}
+
+// delIndex implements del obj[idx].
+func (vm *VM) delIndex(obj, idx Value) *Exc {
+	vm.m.Step(1)
+	switch o := obj.(type) {
+	case *DictVal:
+		found, e := vm.dictDelete(o, idx)
+		if e != nil {
+			return e
+		}
+		if !found {
+			ks, _ := vm.str(idx)
+			return excf("KeyError", "%s", ks.Concrete())
+		}
+		return nil
+	case *ListVal:
+		i, e := vm.seqIndex(idx, len(o.Items), "list index out of range")
+		if e != nil {
+			return e
+		}
+		o.Items = append(o.Items[:i], o.Items[i+1:]...)
+		return nil
+	}
+	return excf("TypeError", "cannot delete items of '%s'", obj.TypeName())
+}
+
+// slice implements obj[lo:hi] with Python's clamping semantics.
+func (vm *VM) slice(obj, lo, hi Value) (Value, *Exc) {
+	vm.m.Step(1)
+	length := 0
+	switch o := obj.(type) {
+	case StrVal:
+		length = o.Len()
+	case *ListVal:
+		length = len(o.Items)
+	default:
+		return nil, excf("TypeError", "'%s' object is not sliceable", obj.TypeName())
+	}
+	l, e := vm.sliceBound(lo, 0, length)
+	if e != nil {
+		return nil, e
+	}
+	h, e := vm.sliceBound(hi, length, length)
+	if e != nil {
+		return nil, e
+	}
+	if l > length {
+		l = length
+	}
+	if h > length {
+		h = length
+	}
+	if h < l {
+		h = l
+	}
+	switch o := obj.(type) {
+	case StrVal:
+		return StrVal{B: append([]lowlevel.SVal(nil), o.B[l:h]...)}, nil
+	case *ListVal:
+		return &ListVal{Items: append([]Value(nil), o.Items[l:h]...)}, nil
+	}
+	panic("unreachable")
+}
+
+// sliceBound resolves one slice endpoint with clamping, branching on
+// symbolic bounds and concretizing the resulting offset.
+func (vm *VM) sliceBound(v Value, def, n int) (int, *Exc) {
+	if v == nil {
+		return def, nil
+	}
+	if _, ok := v.(NoneVal); ok {
+		return def, nil
+	}
+	iv, ok := asInt(v)
+	if !ok {
+		return 0, excf("TypeError", "slice indices must be integers")
+	}
+	if iv.Big != nil {
+		return n, nil
+	}
+	x := iv.V
+	if vm.m.Branch(llpcListIndexCheck, lowlevel.SltV(x, c64(0))) {
+		x = lowlevel.AddV(x, c64(uint64(n)))
+		if vm.m.Branch(llpcListIndexCheck, lowlevel.SltV(x, c64(0))) {
+			return 0, nil
+		}
+	}
+	if vm.m.Branch(llpcListIndexCheck, lowlevel.SltV(c64(uint64(n)), x)) {
+		return n, nil
+	}
+	if x.IsSymbolic() {
+		return int(vm.m.ConcretizeFork(llpcListIndexCheck+2000, x)), nil
+	}
+	return int(x.C), nil
+}
+
+// listEq compares lists element-wise.
+func (vm *VM) listEq(a, b *ListVal) (lowlevel.SVal, *Exc) {
+	if len(a.Items) != len(b.Items) {
+		return lowlevel.ConcreteBool(false), nil
+	}
+	for i := range a.Items {
+		vm.m.Step(1)
+		eq, e := vm.valuesEqualBranch(a.Items[i], b.Items[i])
+		if e != nil {
+			return lowlevel.SVal{}, e
+		}
+		if !eq {
+			return lowlevel.ConcreteBool(false), nil
+		}
+	}
+	return lowlevel.ConcreteBool(true), nil
+}

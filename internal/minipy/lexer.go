@@ -1,0 +1,292 @@
+package minipy
+
+import "strconv"
+
+// lexer turns MiniPy source into a token stream, handling Python-style
+// significant indentation (INDENT/DEDENT tokens) and line continuation
+// inside bracketed expressions.
+type lexer struct {
+	src     string
+	pos     int
+	line    int
+	indents []int
+	pending []Token
+	depth   int // bracket nesting; newlines are insignificant inside
+	atLine  bool
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, indents: []int{0}, atLine: true}
+}
+
+// Lex tokenizes the whole source.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(i int) byte {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+func (l *lexer) next() (Token, error) {
+	if len(l.pending) > 0 {
+		t := l.pending[0]
+		l.pending = l.pending[1:]
+		return t, nil
+	}
+	if l.atLine && l.depth == 0 {
+		if t, emitted, err := l.handleIndent(); err != nil {
+			return Token{}, err
+		} else if emitted {
+			return t, nil
+		}
+	}
+	l.skipSpaces()
+	c := l.peekByte()
+	switch {
+	case c == 0:
+		// Flush remaining dedents before EOF.
+		if len(l.indents) > 1 {
+			l.indents = l.indents[:len(l.indents)-1]
+			return Token{Kind: TokDedent, Line: l.line}, nil
+		}
+		return Token{Kind: TokEOF, Line: l.line}, nil
+	case c == '#':
+		for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+			l.pos++
+		}
+		return l.next()
+	case c == '\n':
+		l.pos++
+		l.line++
+		if l.depth > 0 {
+			return l.next()
+		}
+		l.atLine = true
+		return Token{Kind: TokNewline, Line: l.line - 1}, nil
+	case c == '\\' && l.at(1) == '\n':
+		l.pos += 2
+		l.line++
+		return l.next()
+	case isDigit(c):
+		return l.lexNumber()
+	case isNameStart(c):
+		return l.lexName()
+	case c == '\'' || c == '"':
+		return l.lexString()
+	default:
+		return l.lexOp()
+	}
+}
+
+func (l *lexer) skipSpaces() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\r' {
+			l.pos++
+		} else {
+			break
+		}
+	}
+}
+
+// handleIndent computes the indentation of a fresh logical line and emits
+// INDENT/DEDENT tokens as needed. Blank and comment-only lines are skipped.
+func (l *lexer) handleIndent() (Token, bool, error) {
+	for {
+		start := l.pos
+		col := 0
+		for l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case ' ':
+				col++
+				l.pos++
+				continue
+			case '\t':
+				col += 8 - col%8
+				l.pos++
+				continue
+			}
+			break
+		}
+		c := l.peekByte()
+		if c == '\n' {
+			l.pos++
+			l.line++
+			continue // blank line
+		}
+		if c == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if c == 0 {
+			l.pos = start // let next() emit dedents/EOF
+			l.atLine = false
+			return Token{}, false, nil
+		}
+		l.atLine = false
+		top := l.indents[len(l.indents)-1]
+		switch {
+		case col > top:
+			l.indents = append(l.indents, col)
+			return Token{Kind: TokIndent, Line: l.line}, true, nil
+		case col < top:
+			var toks []Token
+			for len(l.indents) > 1 && l.indents[len(l.indents)-1] > col {
+				l.indents = l.indents[:len(l.indents)-1]
+				toks = append(toks, Token{Kind: TokDedent, Line: l.line})
+			}
+			if l.indents[len(l.indents)-1] != col {
+				return Token{}, false, syntaxErrf(l.line, "inconsistent indentation")
+			}
+			l.pending = append(l.pending, toks[1:]...)
+			return toks[0], true, nil
+		default:
+			return Token{}, false, nil
+		}
+	}
+}
+
+func isDigit(c byte) bool     { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool  { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+func isNameStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isNameChar(c byte) bool  { return isNameStart(c) || isDigit(c) }
+
+func (l *lexer) lexNumber() (Token, error) {
+	start := l.pos
+	if l.peekByte() == '0' && (l.at(1) == 'x' || l.at(1) == 'X') {
+		l.pos += 2
+		for isHexDigit(l.peekByte()) {
+			l.pos++
+		}
+		v, err := strconv.ParseInt(l.src[start+2:l.pos], 16, 64)
+		if err != nil {
+			return Token{}, syntaxErrf(l.line, "bad hex literal %q", l.src[start:l.pos])
+		}
+		return Token{Kind: TokInt, Int: v, Line: l.line}, nil
+	}
+	for isDigit(l.peekByte()) {
+		l.pos++
+	}
+	v, err := strconv.ParseInt(l.src[start:l.pos], 10, 64)
+	if err != nil {
+		return Token{}, syntaxErrf(l.line, "bad int literal %q", l.src[start:l.pos])
+	}
+	return Token{Kind: TokInt, Int: v, Line: l.line}, nil
+}
+
+func (l *lexer) lexName() (Token, error) {
+	start := l.pos
+	for isNameChar(l.peekByte()) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if keywords[text] {
+		return Token{Kind: TokKeyword, Text: text, Line: l.line}, nil
+	}
+	return Token{Kind: TokName, Text: text, Line: l.line}, nil
+}
+
+func (l *lexer) lexString() (Token, error) {
+	quote := l.src[l.pos]
+	l.pos++
+	var buf []byte
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, syntaxErrf(l.line, "unterminated string")
+		}
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return Token{Kind: TokStr, Text: string(buf), Line: l.line}, nil
+		case '\n':
+			return Token{}, syntaxErrf(l.line, "newline in string")
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return Token{}, syntaxErrf(l.line, "unterminated escape")
+			}
+			e := l.src[l.pos]
+			l.pos++
+			switch e {
+			case 'n':
+				buf = append(buf, '\n')
+			case 't':
+				buf = append(buf, '\t')
+			case 'r':
+				buf = append(buf, '\r')
+			case '0':
+				buf = append(buf, 0)
+			case '\\', '\'', '"':
+				buf = append(buf, e)
+			case 'x':
+				if l.pos+1 >= len(l.src) || !isHexDigit(l.src[l.pos]) || !isHexDigit(l.src[l.pos+1]) {
+					return Token{}, syntaxErrf(l.line, "bad \\x escape")
+				}
+				v, _ := strconv.ParseUint(l.src[l.pos:l.pos+2], 16, 8)
+				buf = append(buf, byte(v))
+				l.pos += 2
+			default:
+				return Token{}, syntaxErrf(l.line, "unknown escape \\%c", e)
+			}
+		default:
+			buf = append(buf, c)
+			l.pos++
+		}
+	}
+}
+
+var twoCharOps = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "//": true,
+	"+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"**": true,
+}
+
+func (l *lexer) lexOp() (Token, error) {
+	c := l.peekByte()
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharOps[two] {
+			l.pos += 2
+			return Token{Kind: TokOp, Text: two, Line: l.line}, nil
+		}
+	}
+	switch c {
+	case '(', '[', '{':
+		l.depth++
+	case ')', ']', '}':
+		if l.depth > 0 {
+			l.depth--
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', '[', ']', '{', '}', ',', ':', '.', ';':
+		l.pos++
+		return Token{Kind: TokOp, Text: string(c), Line: l.line}, nil
+	}
+	return Token{}, syntaxErrf(l.line, "unexpected character %q", string(c))
+}

@@ -1,0 +1,475 @@
+package minipy
+
+import "chef/internal/lowlevel"
+
+// getattr resolves obj.name: instance attributes, class methods, and the
+// built-in method tables of str/list/dict.
+func (vm *VM) getattr(obj Value, name string) (Value, *Exc) {
+	vm.m.Step(1)
+	switch o := obj.(type) {
+	case *InstanceVal:
+		if v, ok := o.Attrs[name]; ok {
+			return v, nil
+		}
+		if m, ok := o.Class.lookup(name); ok {
+			return &FuncVal{Code: m.Code, Defaults: m.Defaults, Self: o, Class: m.Class}, nil
+		}
+		if v, ok := o.Class.lookupConst(name); ok {
+			return v, nil
+		}
+		return nil, excf("AttributeError", "'%s' object has no attribute '%s'", o.Class.Name, name)
+	case *ClassVal:
+		if m, ok := o.lookup(name); ok {
+			return m, nil
+		}
+		if v, ok := o.lookupConst(name); ok {
+			return v, nil
+		}
+		return nil, excf("AttributeError", "type '%s' has no attribute '%s'", o.Name, name)
+	case *ExcInstanceVal:
+		if name == "message" || name == "args" {
+			return o.Msg, nil
+		}
+		return nil, excf("AttributeError", "'%s' object has no attribute '%s'", o.Type, name)
+	case StrVal:
+		return vm.strMethod(o, name)
+	case *ListVal:
+		return vm.listMethod(o, name)
+	case *DictVal:
+		return vm.dictMethod(o, name)
+	}
+	return nil, excf("AttributeError", "'%s' object has no attribute '%s'", obj.TypeName(), name)
+}
+
+func nativeMethod(name string, fn func(vm *VM, args []Value) (Value, *Exc)) Value {
+	return &BuiltinVal{Name: name, Fn: fn}
+}
+
+func needArgs(name string, args []Value, lo, hi int) *Exc {
+	if len(args) < lo || len(args) > hi {
+		return excf("TypeError", "%s() takes %d to %d arguments (%d given)", name, lo, hi, len(args))
+	}
+	return nil
+}
+
+func argStr(name string, args []Value, i int) (StrVal, *Exc) {
+	s, ok := args[i].(StrVal)
+	if !ok {
+		return StrVal{}, excf("TypeError", "%s() argument %d must be str, not %s", name, i+1, args[i].TypeName())
+	}
+	return s, nil
+}
+
+func argInt(name string, args []Value, i int) (IntVal, *Exc) {
+	v, ok := asInt(args[i])
+	if !ok {
+		return IntVal{}, excf("TypeError", "%s() argument %d must be int, not %s", name, i+1, args[i].TypeName())
+	}
+	return v, nil
+}
+
+// concreteIdx concretizes a small-int argument used as a structural position
+// (e.g. find's start offset).
+func (vm *VM) concreteIdx(v IntVal) int {
+	if v.Big != nil {
+		return 1 << 30
+	}
+	if v.V.IsSymbolic() {
+		return int(int64(vm.m.ConcretizeFork(llpcListIndexCheck+3000, v.V)))
+	}
+	return int(v.V.Int())
+}
+
+func (vm *VM) strMethod(s StrVal, name string) (Value, *Exc) {
+	switch name {
+	case "find", "index":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 2); e != nil {
+				return nil, e
+			}
+			sub, e := argStr(name, args, 0)
+			if e != nil {
+				return nil, e
+			}
+			start := 0
+			if len(args) == 2 {
+				iv, e := argInt(name, args, 1)
+				if e != nil {
+					return nil, e
+				}
+				start = vm.concreteIdx(iv)
+			}
+			pos := vm.strFind(s, sub, start)
+			if pos < 0 && name == "index" {
+				return nil, excf("ValueError", "substring not found")
+			}
+			return MkInt(int64(pos)), nil
+		}), nil
+	case "startswith", "endswith":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 1); e != nil {
+				return nil, e
+			}
+			sub, e := argStr(name, args, 0)
+			if e != nil {
+				return nil, e
+			}
+			if sub.Len() > s.Len() {
+				return MkBool(false), nil
+			}
+			pos := 0
+			if name == "endswith" {
+				pos = s.Len() - sub.Len()
+			}
+			return BoolVal{vm.strMatchAt(s, sub, pos)}, nil
+		}), nil
+	case "strip", "lstrip", "rstrip":
+		mode := 3
+		if name == "lstrip" {
+			mode = 1
+		} else if name == "rstrip" {
+			mode = 2
+		}
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 0, 0); e != nil {
+				return nil, e
+			}
+			return vm.strStrip(s, mode), nil
+		}), nil
+	case "split":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 0, 1); e != nil {
+				return nil, e
+			}
+			sep := StrVal{}
+			if len(args) == 1 {
+				sv, e := argStr(name, args, 0)
+				if e != nil {
+					return nil, e
+				}
+				sep = sv
+			}
+			return vm.strSplit(s, sep), nil
+		}), nil
+	case "join":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 1); e != nil {
+				return nil, e
+			}
+			lst, ok := args[0].(*ListVal)
+			if !ok {
+				return nil, excf("TypeError", "join() argument must be a list")
+			}
+			return vm.strJoin(s, lst)
+		}), nil
+	case "replace":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 2, 2); e != nil {
+				return nil, e
+			}
+			oldS, e := argStr(name, args, 0)
+			if e != nil {
+				return nil, e
+			}
+			newS, e := argStr(name, args, 1)
+			if e != nil {
+				return nil, e
+			}
+			return vm.strReplace(s, oldS, newS), nil
+		}), nil
+	case "count":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 1); e != nil {
+				return nil, e
+			}
+			sub, e := argStr(name, args, 0)
+			if e != nil {
+				return nil, e
+			}
+			return MkInt(int64(vm.strCount(s, sub))), nil
+		}), nil
+	case "lower", "upper":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 0, 0); e != nil {
+				return nil, e
+			}
+			return vm.strCaseMap(s, name == "lower"), nil
+		}), nil
+	case "isdigit":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			return BoolVal{vm.strClassAll(s, isDigitExpr, llpcStrIsDigit)}, nil
+		}), nil
+	case "isalpha":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			return BoolVal{vm.strClassAll(s, isAlphaExpr, llpcStrIsAlpha)}, nil
+		}), nil
+	case "isspace":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			return BoolVal{vm.strClassAll(s, isSpaceExpr, llpcStrIsSpace)}, nil
+		}), nil
+	case "rfind":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 1); e != nil {
+				return nil, e
+			}
+			sub, e := argStr(name, args, 0)
+			if e != nil {
+				return nil, e
+			}
+			return MkInt(int64(vm.strRFind(s, sub))), nil
+		}), nil
+	case "splitlines":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 0, 0); e != nil {
+				return nil, e
+			}
+			return vm.strSplit(s, MkStr("\n")), nil
+		}), nil
+	case "zfill":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 1); e != nil {
+				return nil, e
+			}
+			iv, e := argInt(name, args, 0)
+			if e != nil {
+				return nil, e
+			}
+			return vm.strPad(s, vm.concreteIdx(iv), '0', true), nil
+		}), nil
+	case "rjust", "ljust":
+		left := name == "rjust" // rjust pads on the left
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 2); e != nil {
+				return nil, e
+			}
+			iv, e := argInt(name, args, 0)
+			if e != nil {
+				return nil, e
+			}
+			fill := byte(' ')
+			if len(args) == 2 {
+				fs, e := argStr(name, args, 1)
+				if e != nil {
+					return nil, e
+				}
+				if fs.Len() != 1 {
+					return nil, excf("TypeError", "fill character must be exactly one character")
+				}
+				fill = byte(fs.B[0].C)
+			}
+			return vm.strPad(s, vm.concreteIdx(iv), fill, left), nil
+		}), nil
+	case "partition":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 1); e != nil {
+				return nil, e
+			}
+			sep, e := argStr(name, args, 0)
+			if e != nil {
+				return nil, e
+			}
+			if sep.Len() == 0 {
+				return nil, excf("ValueError", "empty separator")
+			}
+			pos := vm.strFind(s, sep, 0)
+			if pos < 0 {
+				return &ListVal{Items: []Value{s, MkStr(""), MkStr("")}}, nil
+			}
+			return &ListVal{Items: []Value{
+				StrVal{B: append([]lowlevel.SVal(nil), s.B[:pos]...)},
+				sep,
+				StrVal{B: append([]lowlevel.SVal(nil), s.B[pos+sep.Len():]...)},
+			}}, nil
+		}), nil
+	case "capitalize":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 0, 0); e != nil {
+				return nil, e
+			}
+			low := vm.strCaseMap(s, true)
+			if low.Len() == 0 {
+				return low, nil
+			}
+			head := vm.strCaseMap(StrVal{B: low.B[:1]}, false)
+			return strConcat(head, StrVal{B: low.B[1:]}), nil
+		}), nil
+	}
+	return nil, excf("AttributeError", "'str' object has no attribute '%s'", name)
+}
+
+func (vm *VM) listMethod(l *ListVal, name string) (Value, *Exc) {
+	switch name {
+	case "append":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 1); e != nil {
+				return nil, e
+			}
+			l.Items = append(l.Items, args[0])
+			return None, nil
+		}), nil
+	case "extend":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 1); e != nil {
+				return nil, e
+			}
+			other, ok := args[0].(*ListVal)
+			if !ok {
+				return nil, excf("TypeError", "extend() argument must be a list")
+			}
+			l.Items = append(l.Items, other.Items...)
+			return None, nil
+		}), nil
+	case "pop":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 0, 1); e != nil {
+				return nil, e
+			}
+			if len(l.Items) == 0 {
+				return nil, excf("IndexError", "pop from empty list")
+			}
+			i := len(l.Items) - 1
+			if len(args) == 1 {
+				iv, e := argInt(name, args, 0)
+				if e != nil {
+					return nil, e
+				}
+				i, e = vm.seqIndex(iv, len(l.Items), "pop index out of range")
+				if e != nil {
+					return nil, e
+				}
+			}
+			v := l.Items[i]
+			l.Items = append(l.Items[:i], l.Items[i+1:]...)
+			return v, nil
+		}), nil
+	case "insert":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 2, 2); e != nil {
+				return nil, e
+			}
+			iv, e := argInt(name, args, 0)
+			if e != nil {
+				return nil, e
+			}
+			i := vm.concreteIdx(iv)
+			if i < 0 {
+				i = 0
+			}
+			if i > len(l.Items) {
+				i = len(l.Items)
+			}
+			l.Items = append(l.Items[:i], append([]Value{args[1]}, l.Items[i:]...)...)
+			return None, nil
+		}), nil
+	case "index":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 1); e != nil {
+				return nil, e
+			}
+			for i, it := range l.Items {
+				eq, e := vm.valuesEqualBranch(it, args[0])
+				if e != nil {
+					return nil, e
+				}
+				if eq {
+					return MkInt(int64(i)), nil
+				}
+			}
+			return nil, excf("ValueError", "value is not in list")
+		}), nil
+	case "reverse":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			for i, j := 0, len(l.Items)-1; i < j; i, j = i+1, j-1 {
+				l.Items[i], l.Items[j] = l.Items[j], l.Items[i]
+			}
+			return None, nil
+		}), nil
+	}
+	return nil, excf("AttributeError", "'list' object has no attribute '%s'", name)
+}
+
+func (vm *VM) dictMethod(d *DictVal, name string) (Value, *Exc) {
+	switch name {
+	case "get":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 2); e != nil {
+				return nil, e
+			}
+			v, found, e := vm.dictLookup(d, args[0])
+			if e != nil {
+				return nil, e
+			}
+			if found {
+				return v, nil
+			}
+			if len(args) == 2 {
+				return args[1], nil
+			}
+			return None, nil
+		}), nil
+	case "setdefault":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 2); e != nil {
+				return nil, e
+			}
+			v, found, e := vm.dictLookup(d, args[0])
+			if e != nil {
+				return nil, e
+			}
+			if found {
+				return v, nil
+			}
+			var def Value = None
+			if len(args) == 2 {
+				def = args[1]
+			}
+			if e := vm.dictSet(d, args[0], def); e != nil {
+				return nil, e
+			}
+			return def, nil
+		}), nil
+	case "keys":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			return &ListVal{Items: d.dictKeys()}, nil
+		}), nil
+	case "values":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			return &ListVal{Items: d.dictValues()}, nil
+		}), nil
+	case "items":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			return &ListVal{Items: d.dictItems()}, nil
+		}), nil
+	case "has_key":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 1); e != nil {
+				return nil, e
+			}
+			_, found, e := vm.dictLookup(d, args[0])
+			if e != nil {
+				return nil, e
+			}
+			return MkBool(found), nil
+		}), nil
+	case "update":
+		return nativeMethod(name, func(vm *VM, args []Value) (Value, *Exc) {
+			if e := needArgs(name, args, 1, 1); e != nil {
+				return nil, e
+			}
+			other, ok := args[0].(*DictVal)
+			if !ok {
+				return nil, excf("TypeError", "update() argument must be a dict")
+			}
+			for _, e := range other.order {
+				if e.deleted {
+					continue
+				}
+				if exc := vm.dictSet(d, e.key, e.val); exc != nil {
+					return nil, exc
+				}
+			}
+			return None, nil
+		}), nil
+	}
+	return nil, excf("AttributeError", "'dict' object has no attribute '%s'", name)
+}

@@ -1,0 +1,541 @@
+package minipy
+
+import (
+	"chef/internal/lowlevel"
+	"chef/internal/symexpr"
+)
+
+// Native string routines. These are the interpreter internals whose byte-wise
+// loops make a single high-level instruction (like email.find("@")) explode
+// into many low-level paths — the paper's Fig. 2/3 phenomenon. Each routine
+// has a vanilla variant with CPython-style fast paths (early exits that fork
+// per byte) and an optimized variant per §4.2's fast-path elimination that
+// processes whole buffers on a single path.
+
+func c8v(b byte) lowlevel.SVal { return lowlevel.ConcreteVal(uint64(b), symexpr.W8) }
+
+func strConcat(a, b StrVal) StrVal {
+	out := make([]lowlevel.SVal, 0, len(a.B)+len(b.B))
+	out = append(out, a.B...)
+	out = append(out, b.B...)
+	return StrVal{B: out}
+}
+
+// strEq returns the equality of two strings as a width-1 value.
+//
+// Vanilla: CPython short-circuits on the first differing byte, so each byte
+// is a branch and inequality exits early — n low-level paths. Optimized: the
+// whole buffers are compared on one path, accumulating a symbolic flag; the
+// single branch happens at the caller.
+func (vm *VM) strEq(a, b StrVal) lowlevel.SVal {
+	if len(a.B) != len(b.B) {
+		return lowlevel.ConcreteBool(false) // length check is structural
+	}
+	if vm.cfg.FastPathElimination {
+		acc := lowlevel.ConcreteBool(true)
+		for i := range a.B {
+			vm.m.Step(1)
+			acc = lowlevel.BoolAndV(acc, lowlevel.EqV(a.B[i], b.B[i]))
+		}
+		return acc
+	}
+	for i := range a.B {
+		vm.m.Step(1)
+		if vm.m.Branch(llpcStrEqFast, lowlevel.NeV(a.B[i], b.B[i])) {
+			return lowlevel.ConcreteBool(false)
+		}
+	}
+	return lowlevel.ConcreteBool(true)
+}
+
+// strCompare implements all six comparison operators.
+func (vm *VM) strCompare(kind int, a, b StrVal) lowlevel.SVal {
+	switch kind {
+	case cmpEq:
+		return vm.strEq(a, b)
+	case cmpNe:
+		return lowlevel.NotV(vm.strEq(a, b))
+	}
+	// Lexicographic comparison always walks bytes with branches; there is no
+	// branch-free variant in CPython either.
+	n := len(a.B)
+	if len(b.B) < n {
+		n = len(b.B)
+	}
+	for i := 0; i < n; i++ {
+		vm.m.Step(1)
+		if vm.m.Branch(llpcStrLtByte, lowlevel.UltV(a.B[i], b.B[i])) {
+			return lowlevel.ConcreteBool(kind == cmpLt || kind == cmpLe)
+		}
+		if vm.m.Branch(llpcStrLtByte, lowlevel.UltV(b.B[i], a.B[i])) {
+			return lowlevel.ConcreteBool(kind == cmpGt || kind == cmpGe)
+		}
+	}
+	switch kind {
+	case cmpLt:
+		return lowlevel.ConcreteBool(len(a.B) < len(b.B))
+	case cmpLe:
+		return lowlevel.ConcreteBool(len(a.B) <= len(b.B))
+	case cmpGt:
+		return lowlevel.ConcreteBool(len(a.B) > len(b.B))
+	default:
+		return lowlevel.ConcreteBool(len(a.B) >= len(b.B))
+	}
+}
+
+// strMatchAt reports whether needle occurs in hay at position pos, as a
+// width-1 value (optimized) or via early-exit branches (vanilla).
+func (vm *VM) strMatchAt(hay, needle StrVal, pos int) lowlevel.SVal {
+	if vm.cfg.FastPathElimination {
+		acc := lowlevel.ConcreteBool(true)
+		for j := range needle.B {
+			vm.m.Step(1)
+			acc = lowlevel.BoolAndV(acc, lowlevel.EqV(hay.B[pos+j], needle.B[j]))
+		}
+		return acc
+	}
+	for j := range needle.B {
+		vm.m.Step(1)
+		if vm.m.Branch(llpcStrEqFast, lowlevel.NeV(hay.B[pos+j], needle.B[j])) {
+			return lowlevel.ConcreteBool(false)
+		}
+	}
+	return lowlevel.ConcreteBool(true)
+}
+
+// strFind returns the first occurrence of needle in hay at or after start,
+// or -1 — string.find, the paper's canonical low-level path-explosion
+// source: one branch per candidate position.
+func (vm *VM) strFind(hay, needle StrVal, start int) int {
+	if start < 0 {
+		start = 0
+	}
+	for pos := start; pos+len(needle.B) <= len(hay.B); pos++ {
+		vm.m.Step(1)
+		if vm.m.Branch(llpcStrFindPos, vm.strMatchAt(hay, needle, pos)) {
+			return pos
+		}
+	}
+	return -1
+}
+
+// strIndexChar extracts s[i] as a one-character string. In the vanilla
+// interpreter single-character strings are interned: the result object is a
+// table lookup at a symbolic index — a symbolic pointer resolved by forking
+// per feasible byte value. The optimization allocates a fresh string.
+func (vm *VM) strIndexChar(s StrVal, i int) StrVal {
+	b := s.B[i]
+	if !vm.cfg.AvoidSymbolicPointers && b.IsSymbolic() {
+		c := vm.m.ConcretizeFork(llpcStrCharIntern, b)
+		return StrVal{B: []lowlevel.SVal{c8v(byte(c))}}
+	}
+	return StrVal{B: []lowlevel.SVal{b}}
+}
+
+// strRepeat implements s * n. A symbolic count is an allocation with a
+// symbolic size (Fig. 6): the vanilla interpreter forks per feasible size,
+// the optimized one asks the solver for an upper bound and pins the size.
+func (vm *VM) strRepeat(s StrVal, n IntVal) (Value, *Exc) {
+	count, e := vm.allocSize(n, 4096/max(1, len(s.B)))
+	if e != nil {
+		return nil, e
+	}
+	out := make([]lowlevel.SVal, 0, count*len(s.B))
+	for i := 0; i < count; i++ {
+		vm.m.Step(1)
+		out = append(out, s.B...)
+	}
+	return StrVal{B: out}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// allocSize turns a possibly-symbolic element count into a concrete
+// allocation size, forking (vanilla) or using upper_bound + concretize
+// (optimized), and enforcing a structural cap.
+func (vm *VM) allocSize(n IntVal, cap int) (int, *Exc) {
+	if n.Big != nil {
+		return 0, excf("OverflowError", "repeat count out of range")
+	}
+	var c int64
+	if !n.V.IsSymbolic() {
+		c = n.V.Int()
+	} else if vm.cfg.AvoidSymbolicPointers {
+		ub := vm.m.UpperBound(n.V)
+		if int64(ub) > int64(cap) {
+			ub = uint64(cap)
+		}
+		_ = ub // the allocation could be sized by ub; the content length is pinned
+		c = int64(vm.m.ConcretizeSilent(n.V))
+	} else {
+		c = int64(vm.m.ConcretizeFork(llpcStrAllocSize, n.V))
+	}
+	if c < 0 {
+		c = 0
+	}
+	if c > int64(cap) {
+		return 0, excf("OverflowError", "repeat count out of range")
+	}
+	return int(c), nil
+}
+
+func (vm *VM) listRepeat(l *ListVal, n IntVal) (Value, *Exc) {
+	count, e := vm.allocSize(n, 4096/max(1, len(l.Items)))
+	if e != nil {
+		return nil, e
+	}
+	out := make([]Value, 0, count*len(l.Items))
+	for i := 0; i < count; i++ {
+		vm.m.Step(1)
+		out = append(out, l.Items...)
+	}
+	return &ListVal{Items: out}, nil
+}
+
+// charClass tests used by strip/split/isdigit/…; vanilla branches per byte,
+// the optimized build keeps the predicate symbolic via Ite-style arithmetic.
+func isSpaceExpr(b lowlevel.SVal) lowlevel.SVal {
+	sp := lowlevel.EqV(b, c8v(' '))
+	for _, c := range []byte{'\t', '\n', '\r'} {
+		sp = lowlevel.BoolOrV(sp, lowlevel.EqV(b, c8v(c)))
+	}
+	return sp
+}
+
+func isDigitExpr(b lowlevel.SVal) lowlevel.SVal {
+	return lowlevel.BoolAndV(lowlevel.UleV(c8v('0'), b), lowlevel.UleV(b, c8v('9')))
+}
+
+func isAlphaExpr(b lowlevel.SVal) lowlevel.SVal {
+	lower := lowlevel.BoolAndV(lowlevel.UleV(c8v('a'), b), lowlevel.UleV(b, c8v('z')))
+	upper := lowlevel.BoolAndV(lowlevel.UleV(c8v('A'), b), lowlevel.UleV(b, c8v('Z')))
+	return lowlevel.BoolOrV(lower, upper)
+}
+
+// strStrip removes leading/trailing whitespace (mode &1: left, &2: right).
+func (vm *VM) strStrip(s StrVal, mode int) StrVal {
+	lo, hi := 0, len(s.B)
+	if mode&1 != 0 {
+		for lo < hi {
+			vm.m.Step(1)
+			if !vm.m.Branch(llpcStrStrip, isSpaceExpr(s.B[lo])) {
+				break
+			}
+			lo++
+		}
+	}
+	if mode&2 != 0 {
+		for hi > lo {
+			vm.m.Step(1)
+			if !vm.m.Branch(llpcStrStrip, isSpaceExpr(s.B[hi-1])) {
+				break
+			}
+			hi--
+		}
+	}
+	return StrVal{B: append([]lowlevel.SVal(nil), s.B[lo:hi]...)}
+}
+
+// strSplit splits on a separator; empty separator splits on whitespace runs.
+func (vm *VM) strSplit(s, sep StrVal) *ListVal {
+	out := &ListVal{}
+	if sep.Len() == 0 {
+		i := 0
+		for i < len(s.B) {
+			vm.m.Step(1)
+			if vm.m.Branch(llpcStrSplit, isSpaceExpr(s.B[i])) {
+				i++
+				continue
+			}
+			j := i
+			for j < len(s.B) {
+				vm.m.Step(1)
+				if vm.m.Branch(llpcStrSplit, isSpaceExpr(s.B[j])) {
+					break
+				}
+				j++
+			}
+			out.Items = append(out.Items, StrVal{B: append([]lowlevel.SVal(nil), s.B[i:j]...)})
+			i = j
+		}
+		return out
+	}
+	start := 0
+	for {
+		pos := vm.strFind(s, sep, start)
+		if pos < 0 {
+			out.Items = append(out.Items, StrVal{B: append([]lowlevel.SVal(nil), s.B[start:]...)})
+			return out
+		}
+		out.Items = append(out.Items, StrVal{B: append([]lowlevel.SVal(nil), s.B[start:pos]...)})
+		start = pos + sep.Len()
+	}
+}
+
+// strReplace substitutes every occurrence of old with new.
+func (vm *VM) strReplace(s, old, new StrVal) StrVal {
+	if old.Len() == 0 {
+		return s
+	}
+	var out []lowlevel.SVal
+	start := 0
+	for {
+		pos := vm.strFind(s, old, start)
+		vm.m.Step(1)
+		if pos < 0 {
+			out = append(out, s.B[start:]...)
+			return StrVal{B: out}
+		}
+		out = append(out, s.B[start:pos]...)
+		out = append(out, new.B...)
+		start = pos + old.Len()
+	}
+}
+
+// strRFind returns the last occurrence of needle in hay, or -1, scanning
+// positions from the end with the same per-position branch structure as
+// strFind.
+func (vm *VM) strRFind(hay, needle StrVal) int {
+	for pos := len(hay.B) - len(needle.B); pos >= 0; pos-- {
+		vm.m.Step(1)
+		if vm.m.Branch(llpcStrFindPos, vm.strMatchAt(hay, needle, pos)) {
+			return pos
+		}
+	}
+	return -1
+}
+
+// strPad pads s with fill to width n (left = pad on the left, for
+// rjust/zfill).
+func (vm *VM) strPad(s StrVal, n int, fill byte, left bool) StrVal {
+	if n <= s.Len() {
+		return s
+	}
+	if n > 4096 {
+		n = 4096
+	}
+	pad := make([]lowlevel.SVal, n-s.Len())
+	for i := range pad {
+		pad[i] = c8v(fill)
+	}
+	if left {
+		return strConcat(StrVal{B: pad}, s)
+	}
+	return strConcat(s, StrVal{B: pad})
+}
+
+// strCount counts non-overlapping occurrences.
+func (vm *VM) strCount(s, sub StrVal) int {
+	if sub.Len() == 0 {
+		return s.Len() + 1
+	}
+	n, start := 0, 0
+	for {
+		pos := vm.strFind(s, sub, start)
+		if pos < 0 {
+			return n
+		}
+		n++
+		start = pos + sub.Len()
+	}
+}
+
+// strLower/strUpper convert case. Vanilla consults the character-class table
+// per byte (a branch); the optimized build computes the result symbolically
+// on a single path.
+func (vm *VM) strCaseMap(s StrVal, toLower bool) StrVal {
+	out := make([]lowlevel.SVal, len(s.B))
+	var lo, hi byte
+	var delta uint64
+	if toLower {
+		lo, hi, delta = 'A', 'Z', 32
+	} else {
+		lo, hi, delta = 'a', 'z', 0x20 // subtract via add of two's complement at W8
+	}
+	for i, b := range s.B {
+		vm.m.Step(1)
+		inRange := lowlevel.BoolAndV(lowlevel.UleV(c8v(lo), b), lowlevel.UleV(b, c8v(hi)))
+		if vm.cfg.FastPathElimination {
+			// res = b + (inRange ? ±32 : 0), computed branch-free.
+			d := lowlevel.MulV(lowlevel.ZExtV(inRange, symexpr.W8), lowlevel.ConcreteVal(delta, symexpr.W8))
+			if toLower {
+				out[i] = lowlevel.AddV(b, d)
+			} else {
+				out[i] = lowlevel.SubV(b, d)
+			}
+			continue
+		}
+		if vm.m.Branch(llpcStrIsAlpha, inRange) {
+			if toLower {
+				out[i] = lowlevel.AddV(b, c8v(32))
+			} else {
+				out[i] = lowlevel.SubV(b, c8v(32))
+			}
+		} else {
+			out[i] = b
+		}
+	}
+	return StrVal{B: out}
+}
+
+// strClassAll reports whether every byte satisfies the class predicate
+// (isdigit/isalpha/isspace); empty strings are false, as in Python.
+func (vm *VM) strClassAll(s StrVal, pred func(lowlevel.SVal) lowlevel.SVal, llpc lowlevel.LLPC) lowlevel.SVal {
+	if s.Len() == 0 {
+		return lowlevel.ConcreteBool(false)
+	}
+	if vm.cfg.FastPathElimination {
+		acc := lowlevel.ConcreteBool(true)
+		for _, b := range s.B {
+			vm.m.Step(1)
+			acc = lowlevel.BoolAndV(acc, pred(b))
+		}
+		return acc
+	}
+	for _, b := range s.B {
+		vm.m.Step(1)
+		if !vm.m.Branch(llpc, pred(b)) {
+			return lowlevel.ConcreteBool(false)
+		}
+	}
+	return lowlevel.ConcreteBool(true)
+}
+
+// strJoin joins list items with s as separator.
+func (vm *VM) strJoin(s StrVal, items *ListVal) (Value, *Exc) {
+	var out []lowlevel.SVal
+	for i, it := range items.Items {
+		sv, ok := it.(StrVal)
+		if !ok {
+			return nil, excf("TypeError", "sequence item %d: expected string, %s found", i, it.TypeName())
+		}
+		if i > 0 {
+			out = append(out, s.B...)
+		}
+		out = append(out, sv.B...)
+		vm.m.Step(1)
+	}
+	return StrVal{B: out}, nil
+}
+
+// strFormat implements the single-verb "%s"/"%d" formatting used by the
+// packages.
+func (vm *VM) strFormat(format StrVal, arg Value) (Value, *Exc) {
+	var out []lowlevel.SVal
+	i := 0
+	used := false
+	for i < len(format.B) {
+		b := format.B[i]
+		if !b.IsSymbolic() && byte(b.C) == '%' && i+1 < len(format.B) && !format.B[i+1].IsSymbolic() {
+			verb := byte(format.B[i+1].C)
+			switch verb {
+			case 's', 'd':
+				if used {
+					return nil, excf("TypeError", "not enough arguments for format string")
+				}
+				sv, e := vm.str(arg)
+				if e != nil {
+					return nil, e
+				}
+				out = append(out, sv.B...)
+				used = true
+				i += 2
+				continue
+			case '%':
+				out = append(out, c8v('%'))
+				i += 2
+				continue
+			}
+		}
+		out = append(out, b)
+		i++
+	}
+	return StrVal{B: out}, nil
+}
+
+// smallToStr converts a small int to decimal, with the digit-count loop
+// branching per iteration on symbolic values.
+func (vm *VM) smallToStr(v lowlevel.SVal) StrVal {
+	neg := vm.m.Branch(llpcIntSign, lowlevel.SltV(v, c64(0)))
+	mag := v
+	if neg {
+		mag = lowlevel.NegV(v)
+	}
+	var digits []lowlevel.SVal
+	for i := 0; i < 20; i++ {
+		vm.m.Step(1)
+		digits = append(digits, lowlevel.TruncV(lowlevel.AddV(lowlevel.URemV(mag, c64(10)), c64('0')), symexpr.W8))
+		mag = lowlevel.UDivV(mag, c64(10))
+		if !vm.m.Branch(llpcBigToStrLoop, lowlevel.NeV(mag, c64(0))) {
+			break
+		}
+	}
+	var out []lowlevel.SVal
+	if neg {
+		out = append(out, c8v('-'))
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		out = append(out, digits[i])
+	}
+	return StrVal{B: out}
+}
+
+// str renders any value as a string, like CPython's str().
+func (vm *VM) str(v Value) (StrVal, *Exc) {
+	switch x := v.(type) {
+	case StrVal:
+		return x, nil
+	case NoneVal:
+		return MkStr("None"), nil
+	case BoolVal:
+		if vm.m.Branch(llpcBoolTruth, x.B) {
+			return MkStr("True"), nil
+		}
+		return MkStr("False"), nil
+	case IntVal:
+		if x.Big != nil {
+			return vm.bigToStr(x.Big), nil
+		}
+		return vm.smallToStr(x.V), nil
+	case *ListVal:
+		out := MkStr("[")
+		for i, it := range x.Items {
+			if i > 0 {
+				out = strConcat(out, MkStr(", "))
+			}
+			// As in Python, container elements render with repr: strings
+			// are quoted.
+			if sv, ok := it.(StrVal); ok {
+				out = strConcat(out, strConcat(MkStr("'"), strConcat(sv, MkStr("'"))))
+				continue
+			}
+			s, e := vm.str(it)
+			if e != nil {
+				return StrVal{}, e
+			}
+			out = strConcat(out, s)
+		}
+		return strConcat(out, MkStr("]")), nil
+	case *ExcInstanceVal:
+		return x.Msg, nil
+	case *InstanceVal:
+		if m, ok := x.Class.lookup("__str__"); ok {
+			bound := &FuncVal{Code: m.Code, Defaults: m.Defaults, Self: x, Class: m.Class}
+			r, e := vm.callFunc(bound, nil)
+			if e != nil {
+				return StrVal{}, e
+			}
+			if rs, ok := r.(StrVal); ok {
+				return rs, nil
+			}
+		}
+		return MkStr("<" + x.Class.Name + " instance>"), nil
+	default:
+		return MkStr(Repr(v)), nil
+	}
+}

@@ -1,0 +1,84 @@
+// Package minipy implements MiniPy, the Python-like language whose
+// interpreter serves as CHEF's first case study (§5.1 of the paper, standing
+// in for CPython 2.7.3).
+//
+// The pipeline mirrors CPython's: source files are compiled to a
+// block-structured bytecode, and a stack-based virtual machine interprets the
+// bytecode. The runtime is deliberately built "the CPython way" — strings are
+// byte arrays manipulated by native byte-wise loops, integers promote to
+// digit-vector bignums, dictionaries are hash tables, small values are
+// interned, and common operations have fast paths — because those interpreter
+// internals are precisely what causes low-level path explosion under
+// symbolic execution and what the §4.2 optimizations address.
+package minipy
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokName
+	TokInt
+	TokStr
+	TokKeyword
+	TokOp
+)
+
+var tokKindNames = [...]string{"EOF", "NEWLINE", "INDENT", "DEDENT", "NAME", "INT", "STR", "KEYWORD", "OP"}
+
+func (k TokKind) String() string {
+	if int(k) < len(tokKindNames) {
+		return tokKindNames[k]
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+// Token is one lexical token with its source line for diagnostics and
+// coverage mapping.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64 // value for TokInt
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokInt:
+		return fmt.Sprintf("%d", t.Int)
+	case TokStr:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		if t.Text != "" {
+			return t.Text
+		}
+		return t.Kind.String()
+	}
+}
+
+var keywords = map[string]bool{
+	"def": true, "class": true, "if": true, "elif": true, "else": true,
+	"while": true, "for": true, "in": true, "not": true, "and": true,
+	"or": true, "return": true, "break": true, "continue": true,
+	"pass": true, "raise": true, "try": true, "except": true,
+	"finally": true, "None": true, "True": true, "False": true,
+	"global": true, "del": true, "as": true, "lambda": true, "assert": true,
+}
+
+// SyntaxError reports a compilation problem with its source line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+func syntaxErrf(line int, format string, args ...interface{}) *SyntaxError {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

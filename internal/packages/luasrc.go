@@ -1,0 +1,624 @@
+package packages
+
+// CliargsSrc is the MiniLua analogue of lua_cliargs.
+const CliargsSrc = `
+function split_eq(s)
+    local pos = s:find("=")
+    if pos == nil then
+        return nil
+    end
+    local t = {}
+    t[1] = s:sub(1, pos - 1)
+    t[2] = s:sub(pos + 1)
+    return t
+end
+
+function make_cli()
+    local cli = {}
+    cli.optnames = {}
+    cli.positionals = {}
+    return cli
+end
+
+function add_opt(cli, name)
+    if #name < 3 then
+        error("option name too short")
+    end
+    if name:sub(1, 2) ~= "--" then
+        error("option must start with --")
+    end
+    table.insert(cli.optnames, name:sub(3))
+    return true
+end
+
+function add_arg(cli, name)
+    if #name == 0 then
+        error("positional name empty")
+    end
+    table.insert(cli.positionals, name)
+    return true
+end
+
+function known_opt(cli, key)
+    for i, o in ipairs(cli.optnames) do
+        if o == key then
+            return true
+        end
+    end
+    return false
+end
+
+function parse(cli, argv)
+    local result = {}
+    local pos_i = 1
+    for i, arg in ipairs(argv) do
+        if arg:sub(1, 2) == "--" then
+            local body = arg:sub(3)
+            local kv = split_eq(body)
+            if kv == nil then
+                error("option requires =value")
+            end
+            if not known_opt(cli, kv[1]) then
+                error("unknown option: " .. kv[1])
+            end
+            result[kv[1]] = kv[2]
+        else
+            if pos_i > #cli.positionals then
+                error("too many arguments")
+            end
+            result[cli.positionals[pos_i]] = arg
+            pos_i = pos_i + 1
+        end
+    end
+    if pos_i <= #cli.positionals then
+        error("missing argument: " .. cli.positionals[pos_i])
+    end
+    return result
+end
+
+
+function rstrip_nul(s)
+    local e = #s
+    while e > 0 and s:sub(e, e) == "\x00" do
+        e = e - 1
+    end
+    return s:sub(1, e)
+end
+
+function drive(optname, a1, a2)
+    local cli = make_cli()
+    add_opt(cli, rstrip_nul(optname))
+    add_arg(cli, "input")
+    local argv = {}
+    local s1 = rstrip_nul(a1)
+    local s2 = rstrip_nul(a2)
+    if #s1 > 0 then
+        table.insert(argv, s1)
+    end
+    if #s2 > 0 then
+        table.insert(argv, s2)
+    end
+    local parsed = parse(cli, argv)
+    return parsed["input"]
+end
+`
+
+// HamlSrc is the MiniLua analogue of lua-haml: a line-based markup to HTML
+// converter.
+const HamlSrc = `
+function starts(s, prefix)
+    return s:sub(1, #prefix) == prefix
+end
+
+function trim(s)
+    local i = 1
+    while i <= #s and s:sub(i, i) == " " do
+        i = i + 1
+    end
+    local j = #s
+    while j >= i and s:sub(j, j) == " " do
+        j = j - 1
+    end
+    return s:sub(i, j)
+end
+
+function split_lines(s)
+    local out = {}
+    local start = 1
+    while true do
+        local pos = s:find("\n", start)
+        if pos == nil then
+            table.insert(out, s:sub(start))
+            return out
+        end
+        table.insert(out, s:sub(start, pos - 1))
+        start = pos + 1
+    end
+end
+
+function tag_name(line)
+    local i = 2
+    while i <= #line do
+        local c = line:sub(i, i)
+        if c == " " or c == "." or c == "#" then
+            break
+        end
+        i = i + 1
+    end
+    local r = {}
+    r[1] = line:sub(2, i - 1)
+    r[2] = i
+    return r
+end
+
+function render(source)
+    local html = {}
+    local stack = {}
+    local lines = split_lines(source)
+    for n, raw in ipairs(lines) do
+        local line = trim(raw)
+        if #line == 0 then
+            -- blank line
+        elseif starts(line, "%") then
+            local tn = tag_name(line)
+            local name = tn[1]
+            local rest_at = tn[2]
+            if #name == 0 then
+                error("haml: empty tag name at line " .. n)
+            end
+            local rest = trim(line:sub(rest_at))
+            if starts(rest, ".") then
+                error("haml: classes not supported")
+            end
+            if #rest > 0 then
+                table.insert(html, "<" .. name .. ">" .. rest .. "</" .. name .. ">")
+            else
+                table.insert(html, "<" .. name .. ">")
+                table.insert(stack, name)
+            end
+        elseif starts(line, "/") then
+            if #stack == 0 then
+                error("haml: close without open")
+            end
+            local top = table.remove(stack)
+            table.insert(html, "</" .. top .. ">")
+        elseif starts(line, "=") then
+            error("haml: script lines not supported")
+        else
+            table.insert(html, line)
+        end
+    end
+    if #stack > 0 then
+        error("haml: unclosed tag " .. stack[#stack])
+    end
+    return table.concat(html, "")
+end
+
+
+function rstrip_nul(s)
+    local e = #s
+    while e > 0 and s:sub(e, e) == "\x00" do
+        e = e - 1
+    end
+    return s:sub(1, e)
+end
+
+function drive(source)
+    return render(rstrip_nul(source))
+end
+`
+
+// SbJSONSrc is the MiniLua analogue of sb-JSON — including the real bug the
+// paper found (§6.2): the comment scanner accepts /* and // comments (not
+// part of the JSON standard), and when a comment is unterminated the scanner
+// reaches the end of the string and keeps spinning, waiting for a token that
+// never comes. A malformed comment is therefore a denial-of-service input.
+const SbJSONSrc = `
+function is_ws(c)
+    return c == " " or c == "\t" or c == "\n" or c == "\r"
+end
+
+function is_digit(c)
+    return c >= "0" and c <= "9"
+end
+
+-- scan_past_whitespace advances past spaces and comments. The comment
+-- handling is the buggy part: an unterminated /* or // comment leaves pos
+-- beyond the end, and the outer decode loop keeps calling back expecting
+-- progress — an infinite loop, exactly as in sb-JSON 2007.
+function skip_ws(s, pos)
+    while true do
+        while pos <= #s and is_ws(s:sub(pos, pos)) do
+            pos = pos + 1
+        end
+        if pos < #s and s:sub(pos, pos) == "/" then
+            local c2 = s:sub(pos + 1, pos + 1)
+            if c2 == "/" then
+                local nl = s:find("\n", pos)
+                if nl == nil then
+                    -- BUG (sb-JSON 2007): the scanner never advances past an
+                    -- unterminated comment; it keeps re-scanning from the
+                    -- same position, waiting for a line terminator that
+                    -- never arrives.
+                else
+                    pos = nl + 1
+                end
+            elseif c2 == "*" then
+                local fin = s:find("*/", pos + 2)
+                if fin == nil then
+                    -- BUG: same spin for an unterminated block comment
+                else
+                    pos = fin + 2
+                end
+            else
+                return pos
+            end
+        else
+            return pos
+        end
+    end
+end
+
+function decode_string(s, pos)
+    pos = pos + 1
+    local out = ""
+    while true do
+        if pos > #s then
+            error("json: unterminated string")
+        end
+        local c = s:sub(pos, pos)
+        if c == "\x22" then
+            local r = {}
+            r[1] = out
+            r[2] = pos + 1
+            return r
+        end
+        out = out .. c
+        pos = pos + 1
+    end
+end
+
+function decode_number(s, pos)
+    local start = pos
+    if s:sub(pos, pos) == "-" then
+        pos = pos + 1
+    end
+    local nd = 0
+    while pos <= #s and is_digit(s:sub(pos, pos)) do
+        pos = pos + 1
+        nd = nd + 1
+    end
+    if nd == 0 then
+        error("json: bad number")
+    end
+    local r = {}
+    r[1] = tonumber(s:sub(start, pos - 1))
+    r[2] = pos
+    return r
+end
+
+function decode_array(s, pos)
+    local arr = {}
+    pos = skip_ws(s, pos + 1)
+    if pos <= #s and s:sub(pos, pos) == "]" then
+        local r = {}
+        r[1] = arr
+        r[2] = pos + 1
+        return r
+    end
+    while true do
+        local rv = decode_value(s, pos)
+        table.insert(arr, rv[1])
+        pos = skip_ws(s, rv[2])
+        if pos > #s then
+            error("json: unterminated array")
+        end
+        local c = s:sub(pos, pos)
+        if c == "]" then
+            local r = {}
+            r[1] = arr
+            r[2] = pos + 1
+            return r
+        end
+        if c ~= "," then
+            error("json: expected comma in array")
+        end
+        pos = skip_ws(s, pos + 1)
+    end
+end
+
+function decode_value(s, pos)
+    pos = skip_ws(s, pos)
+    if pos > #s then
+        error("json: expecting value")
+    end
+    local c = s:sub(pos, pos)
+    if c == "[" then
+        return decode_array(s, pos)
+    end
+    if c == "\x22" then
+        return decode_string(s, pos)
+    end
+    if c == "-" or is_digit(c) then
+        return decode_number(s, pos)
+    end
+    if c == "t" then
+        if s:sub(pos, pos + 3) == "true" then
+            local r = {}
+            r[1] = true
+            r[2] = pos + 4
+            return r
+        end
+        error("json: bad literal")
+    end
+    if c == "n" then
+        if s:sub(pos, pos + 3) == "null" then
+            local r = {}
+            r[1] = nil
+            r[2] = pos + 4
+            return r
+        end
+        error("json: bad literal")
+    end
+    error("json: unexpected character " .. c)
+end
+
+function decode(s)
+    if #s == 0 then
+        error("json: empty input")
+    end
+    local r = decode_value(s, 1)
+    return r[1]
+end
+
+
+function rstrip_nul(s)
+    local e = #s
+    while e > 0 and s:sub(e, e) == "\x00" do
+        e = e - 1
+    end
+    return s:sub(1, e)
+end
+
+function drive(s)
+    decode(rstrip_nul(s))
+    return true
+end
+`
+
+// MarkdownSrc is the MiniLua analogue of the markdown text-to-HTML
+// converter.
+const MarkdownSrc = `
+function starts(s, prefix)
+    return s:sub(1, #prefix) == prefix
+end
+
+function split_lines(s)
+    local out = {}
+    local start = 1
+    while true do
+        local pos = s:find("\n", start)
+        if pos == nil then
+            table.insert(out, s:sub(start))
+            return out
+        end
+        table.insert(out, s:sub(start, pos - 1))
+        start = pos + 1
+    end
+end
+
+function heading_level(line)
+    local n = 0
+    while n < #line and line:sub(n + 1, n + 1) == "#" do
+        n = n + 1
+    end
+    return n
+end
+
+function render_spans(text)
+    -- *emphasis* spans; a lone * is a syntax error in this dialect.
+    local out = ""
+    local pos = 1
+    while true do
+        local star = text:find("*", pos)
+        if star == nil then
+            return out .. text:sub(pos)
+        end
+        local fin = text:find("*", star + 1)
+        if fin == nil then
+            error("markdown: unterminated emphasis")
+        end
+        out = out .. text:sub(pos, star - 1) .. "<em>" .. text:sub(star + 1, fin - 1) .. "</em>"
+        pos = fin + 1
+    end
+end
+
+function render(source)
+    local html = {}
+    local in_list = false
+    for i, line in ipairs(split_lines(source)) do
+        local h = heading_level(line)
+        if in_list and not starts(line, "-") then
+            table.insert(html, "</ul>")
+            in_list = false
+        end
+        if #line == 0 then
+            -- blank
+        elseif h > 0 then
+            if h > 6 then
+                error("markdown: heading too deep")
+            end
+            local text = line:sub(h + 1)
+            if starts(text, " ") then
+                text = text:sub(2)
+            end
+            local tag = "h" .. h
+            table.insert(html, "<" .. tag .. ">" .. render_spans(text) .. "</" .. tag .. ">")
+        elseif starts(line, "- ") then
+            if not in_list then
+                table.insert(html, "<ul>")
+                in_list = true
+            end
+            table.insert(html, "<li>" .. render_spans(line:sub(3)) .. "</li>")
+        else
+            table.insert(html, "<p>" .. render_spans(line) .. "</p>")
+        end
+    end
+    if in_list then
+        table.insert(html, "</ul>")
+    end
+    return table.concat(html, "")
+end
+
+
+function rstrip_nul(s)
+    local e = #s
+    while e > 0 and s:sub(e, e) == "\x00" do
+        e = e - 1
+    end
+    return s:sub(1, e)
+end
+
+function drive(source)
+    return render(rstrip_nul(source))
+end
+`
+
+// MoonscriptSrc is the MiniLua analogue of moonscript: a small
+// indentation-based language compiled to Lua source.
+const MoonscriptSrc = `
+function split_lines(s)
+    local out = {}
+    local start = 1
+    while true do
+        local pos = s:find("\n", start)
+        if pos == nil then
+            table.insert(out, s:sub(start))
+            return out
+        end
+        table.insert(out, s:sub(start, pos - 1))
+        start = pos + 1
+    end
+end
+
+function indent_of(line)
+    local n = 0
+    while n < #line and line:sub(n + 1, n + 1) == " " do
+        n = n + 1
+    end
+    return n
+end
+
+function trim(s)
+    local i = indent_of(s)
+    return s:sub(i + 1)
+end
+
+function is_ident(s)
+    if #s == 0 then
+        return false
+    end
+    for i = 1, #s do
+        local c = s:sub(i, i)
+        local ok = (c >= "a" and c <= "z") or (c >= "A" and c <= "Z") or c == "_" or (c >= "0" and c <= "9")
+        if not ok then
+            return false
+        end
+    end
+    return true
+end
+
+-- compile_line translates one moonscript-ish statement to Lua.
+function compile_line(stmt, out, depth)
+    local arrow = stmt:find("->")
+    local eq = stmt:find("=")
+    if stmt == "" then
+        return depth
+    end
+    if arrow ~= nil and eq ~= nil and eq < arrow then
+        -- f = (args) -> body  becomes  function f(args) ... end
+        local name = stmt:sub(1, eq - 1)
+        while name:sub(#name, #name) == " " do
+            name = name:sub(1, #name - 1)
+        end
+        if not is_ident(name) then
+            error("moonscript: bad function name")
+        end
+        local open = stmt:find("(")
+        local close = stmt:find(")")
+        local args = ""
+        if open ~= nil then
+            if close == nil or close < open then
+                error("moonscript: malformed parameter list")
+            end
+            args = stmt:sub(open + 1, close - 1)
+        end
+        table.insert(out, "function " .. name .. "(" .. args .. ")")
+        return depth + 1
+    end
+    if stmt:sub(1, 3) == "if " then
+        table.insert(out, "if " .. stmt:sub(4) .. " then")
+        return depth + 1
+    end
+    if stmt:sub(1, 7) == "return " then
+        table.insert(out, "return " .. stmt:sub(8))
+        return depth
+    end
+    if eq ~= nil then
+        local name = stmt:sub(1, eq - 1)
+        while #name > 0 and name:sub(#name, #name) == " " do
+            name = name:sub(1, #name - 1)
+        end
+        if not is_ident(name) then
+            error("moonscript: bad assignment target")
+        end
+        table.insert(out, "local " .. name .. " " .. stmt:sub(eq))
+        return depth
+    end
+    table.insert(out, stmt)
+    return depth
+end
+
+function compile(source)
+    local out = {}
+    local depth = 0
+    local prev_indent = 0
+    for i, raw in ipairs(split_lines(source)) do
+        local ind = indent_of(raw)
+        local stmt = trim(raw)
+        if #stmt > 0 then
+            if ind % 2 ~= 0 then
+                error("moonscript: odd indentation")
+            end
+            local level = ind / 2
+            if level > depth then
+                error("moonscript: unexpected indent")
+            end
+            while depth > level do
+                table.insert(out, "end")
+                depth = depth - 1
+            end
+            depth = compile_line(stmt, out, depth)
+            prev_indent = ind
+        end
+    end
+    while depth > 0 do
+        table.insert(out, "end")
+        depth = depth - 1
+    end
+    return table.concat(out, "\n")
+end
+
+
+function rstrip_nul(s)
+    local e = #s
+    while e > 0 and s:sub(e, e) == "\x00" do
+        e = e - 1
+    end
+    return s:sub(1, e)
+end
+
+function drive(source)
+    return compile(rstrip_nul(source))
+end
+`

@@ -1,0 +1,344 @@
+package solver
+
+import (
+	"sort"
+
+	"chef/internal/symexpr"
+)
+
+// Result is the outcome of a satisfiability query.
+type Result int8
+
+// Query outcomes. Unknown is returned when the propagation budget is
+// exhausted; the engine treats it as unsatisfiable, trading completeness for
+// progress exactly as the paper concedes for hard constraints.
+const (
+	Unknown Result = iota
+	Sat
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configure the solver front end. The zero value enables every
+// optimization with an effectively unlimited budget.
+type Options struct {
+	// DisableSlicing turns off independent-constraint slicing.
+	DisableSlicing bool
+	// DisableCache turns off the query cache.
+	DisableCache bool
+	// PropBudget caps SAT propagations per query; 0 means the default cap.
+	PropBudget int64
+}
+
+const defaultPropBudget = 4_000_000
+
+// Stats accumulates solver work, expressed in units the engine converts to
+// virtual time.
+type Stats struct {
+	Queries      int64
+	SatQueries   int64
+	UnsatQueries int64
+	Unknowns     int64
+	CacheHits    int64
+	Propagations int64
+	Conflicts    int64
+	ClausesAdded int64
+}
+
+// Solver decides conjunctions of width-1 bit-vector expressions.
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	opts  Options
+	stats Stats
+	cache map[uint64][]cachedQuery
+}
+
+type cachedQuery struct {
+	key    []*symexpr.Expr
+	result Result
+	model  symexpr.Assignment
+}
+
+// New returns a solver with the given options.
+func New(opts Options) *Solver {
+	if opts.PropBudget == 0 {
+		opts.PropBudget = defaultPropBudget
+	}
+	return &Solver{opts: opts, cache: map[uint64][]cachedQuery{}}
+}
+
+// Stats returns a copy of the accumulated counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Check decides whether the conjunction pc is satisfiable. base supplies
+// concrete values for input variables from the parent path; slicing uses it
+// to keep already-satisfied independent constraint groups at their known
+// values, so only the group touched by the freshly negated constraint is
+// re-solved. On Sat the returned assignment covers every variable in pc
+// (values from base are reused where valid).
+func (s *Solver) Check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, symexpr.Assignment) {
+	s.stats.Queries++
+	// Constant-filter: drop constraints that are literally true; a literally
+	// false constraint decides the query immediately.
+	work := make([]*symexpr.Expr, 0, len(pc))
+	for _, c := range pc {
+		if c.IsConst() {
+			if c.ConstVal() == 0 {
+				s.stats.UnsatQueries++
+				return Unsat, nil
+			}
+			continue
+		}
+		work = append(work, c)
+	}
+	if len(work) == 0 {
+		s.stats.SatQueries++
+		return Sat, symexpr.Assignment{}
+	}
+
+	toSolve := work
+	kept := symexpr.Assignment{}
+	if !s.opts.DisableSlicing && base != nil {
+		toSolve, kept = slice(work, base)
+		if len(toSolve) == 0 {
+			s.stats.SatQueries++
+			return Sat, kept
+		}
+	}
+
+	key := queryKey(toSolve)
+	if !s.opts.DisableCache {
+		if r, m, ok := s.cacheLookup(key, toSolve); ok {
+			s.stats.CacheHits++
+			if r == Sat {
+				// Clone: merge must never mutate the cached model.
+				return Sat, merge(m.Clone(), kept)
+			}
+			return r, nil
+		}
+	}
+
+	res, model := s.solveCNF(toSolve)
+	if !s.opts.DisableCache && res != Unknown {
+		s.cacheStore(key, toSolve, res, model)
+	}
+	switch res {
+	case Sat:
+		s.stats.SatQueries++
+		return Sat, merge(model, kept)
+	case Unsat:
+		s.stats.UnsatQueries++
+		return Unsat, nil
+	default:
+		s.stats.Unknowns++
+		return Unknown, nil
+	}
+}
+
+func merge(into, from symexpr.Assignment) symexpr.Assignment {
+	if into == nil {
+		into = symexpr.Assignment{}
+	}
+	for k, v := range from {
+		if _, ok := into[k]; !ok {
+			into[k] = v
+		}
+	}
+	return into
+}
+
+func (s *Solver) solveCNF(constraints []*symexpr.Expr) (Result, symexpr.Assignment) {
+	sat := newSatSolver()
+	sat.budget = s.opts.PropBudget
+	bl := newBlaster(sat)
+	ok := true
+	for _, c := range constraints {
+		if !bl.assertTrue(c) {
+			ok = false
+			break
+		}
+	}
+	defer func() {
+		s.stats.Propagations += sat.propsN
+		s.stats.Conflicts += sat.conflicts
+		s.stats.ClausesAdded += int64(len(sat.clauses))
+	}()
+	if !ok {
+		return Unsat, nil
+	}
+	switch sat.solve() {
+	case resUnsat:
+		return Unsat, nil
+	case resUnknown:
+		return Unknown, nil
+	}
+	m := sat.model()
+	out := symexpr.Assignment{}
+	for v, bits := range bl.vars {
+		var val uint64
+		for i, l := range bits {
+			if m[l.varIdx()] != l.negated() {
+				val |= 1 << uint(i)
+			}
+		}
+		out[v] = val
+	}
+	return Sat, out
+}
+
+// slice partitions constraints into groups connected by shared variables and
+// returns (groups that base does not satisfy, values from base for the
+// variables of satisfied groups).
+func slice(pc []*symexpr.Expr, base symexpr.Assignment) ([]*symexpr.Expr, symexpr.Assignment) {
+	// Union-find over constraint indices keyed through variables.
+	parent := make([]int, len(pc))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	varOwner := map[symexpr.Var]int{}
+	varsOf := make([][]symexpr.Var, len(pc))
+	for i, c := range pc {
+		varsOf[i] = symexpr.Vars(c)
+		for _, v := range varsOf[i] {
+			if o, ok := varOwner[v]; ok {
+				union(i, o)
+			} else {
+				varOwner[v] = i
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := range pc {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var unsatisfied []*symexpr.Expr
+	kept := symexpr.Assignment{}
+	// Deterministic group order.
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		idxs := groups[r]
+		satByBase := true
+		for _, i := range idxs {
+			if !symexpr.EvalBool(pc[i], base) {
+				satByBase = false
+				break
+			}
+		}
+		if satByBase {
+			for _, i := range idxs {
+				for _, v := range varsOf[i] {
+					kept[v] = base[v] & v.W.Mask()
+				}
+			}
+		} else {
+			for _, i := range idxs {
+				unsatisfied = append(unsatisfied, pc[i])
+			}
+		}
+	}
+	return unsatisfied, kept
+}
+
+func queryKey(constraints []*symexpr.Expr) uint64 {
+	// Order-insensitive combination so logically identical queries hit.
+	var h uint64 = 0x1234_5678_9abc_def0
+	for _, c := range constraints {
+		h ^= c.Hash() * 0x9e3779b97f4a7c15
+	}
+	return h
+}
+
+func (s *Solver) cacheLookup(key uint64, constraints []*symexpr.Expr) (Result, symexpr.Assignment, bool) {
+	for _, q := range s.cache[key] {
+		if sameQuery(q.key, constraints) {
+			return q.result, q.model, true
+		}
+	}
+	return Unknown, nil, false
+}
+
+func (s *Solver) cacheStore(key uint64, constraints []*symexpr.Expr, r Result, m symexpr.Assignment) {
+	cs := append([]*symexpr.Expr(nil), constraints...)
+	var mc symexpr.Assignment
+	if m != nil {
+		mc = m.Clone()
+	}
+	s.cache[key] = append(s.cache[key], cachedQuery{cs, r, mc})
+}
+
+func sameQuery(a, b []*symexpr.Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+outer:
+	for _, x := range a {
+		for j, y := range b {
+			if !used[j] && symexpr.Equal(x, y) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// Maximize returns the largest value e can take subject to pc, found by
+// binary search over satisfiability queries. It implements the upper_bound
+// API call from Table 1 of the paper. The boolean result is false when even
+// the base query is unsatisfiable or the budget ran out.
+func (s *Solver) Maximize(e *symexpr.Expr, pc []*symexpr.Expr, base symexpr.Assignment) (uint64, bool) {
+	if e.IsConst() {
+		return e.ConstVal(), true
+	}
+	w := e.Width()
+	res, model := s.Check(pc, base)
+	if res != Sat {
+		return 0, false
+	}
+	best := symexpr.Eval(e, merge(model.Clone(), base))
+	lo, hi := best, w.Mask()
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		q := append(append([]*symexpr.Expr(nil), pc...),
+			symexpr.Ule(symexpr.Const(mid, w), e))
+		res, model = s.Check(q, nil)
+		if res == Sat {
+			got := symexpr.Eval(e, model)
+			if got < mid {
+				got = mid
+			}
+			best = got
+			lo = got
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best, true
+}

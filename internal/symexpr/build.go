@@ -1,0 +1,406 @@
+package symexpr
+
+import "fmt"
+
+// checkSameWidth panics when the operand widths of a binary operator differ.
+// Width mismatches are programming errors in the engine, not user errors.
+func checkSameWidth(op Op, x, y *Expr) {
+	if x.w != y.w {
+		panic(fmt.Sprintf("symexpr: %s operand widths differ: %d vs %d", op, x.w, y.w))
+	}
+}
+
+func foldBin(op Op, x, y uint64, w Width) uint64 {
+	m := w.Mask()
+	x &= m
+	y &= m
+	switch op {
+	case OpAdd:
+		return (x + y) & m
+	case OpSub:
+		return (x - y) & m
+	case OpMul:
+		return (x * y) & m
+	case OpUDiv:
+		if y == 0 {
+			return m // division by zero yields all-ones, as in SMT-LIB
+		}
+		return (x / y) & m
+	case OpURem:
+		if y == 0 {
+			return x
+		}
+		return (x % y) & m
+	case OpAnd:
+		return x & y
+	case OpOr:
+		return x | y
+	case OpXor:
+		return x ^ y
+	case OpShl:
+		if y >= uint64(w) {
+			return 0
+		}
+		return (x << y) & m
+	case OpLShr:
+		if y >= uint64(w) {
+			return 0
+		}
+		return x >> y
+	case OpEq:
+		return b2u(x == y)
+	case OpUlt:
+		return b2u(x < y)
+	case OpUle:
+		return b2u(x <= y)
+	case OpSlt:
+		return b2u(signExtend(x, w) < signExtend(y, w))
+	case OpSle:
+		return b2u(signExtend(x, w) <= signExtend(y, w))
+	}
+	panic("symexpr: foldBin: bad op " + op.String())
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func signExtend(v uint64, w Width) int64 {
+	if w >= 64 {
+		return int64(v)
+	}
+	sign := uint64(1) << (w - 1)
+	v &= w.Mask()
+	if v&sign != 0 {
+		v |= ^w.Mask()
+	}
+	return int64(v)
+}
+
+// SignExtendConst exposes sign extension of a raw constant for callers that
+// need to interpret bit-vector values as signed integers.
+func SignExtendConst(v uint64, w Width) int64 { return signExtend(v, w) }
+
+func binary(op Op, x, y *Expr) *Expr {
+	checkSameWidth(op, x, y)
+	w := x.w
+	rw := w
+	switch op {
+	case OpEq, OpUlt, OpUle, OpSlt, OpSle:
+		rw = W1
+	}
+	if x.IsConst() && y.IsConst() {
+		return Const(foldBin(op, x.val, y.val, w), rw)
+	}
+	// Canonicalize constants to the right for commutative operators so the
+	// simplifier only has to look in one place.
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpEq:
+		if x.IsConst() {
+			x, y = y, x
+		}
+	}
+	if s := simplifyBinary(op, x, y, w, rw); s != nil {
+		return s
+	}
+	return newNode(op, rw, x, y)
+}
+
+// simplifyBinary applies cheap algebraic identities. It returns nil when no
+// simplification applies. Constants have been canonicalized to y for
+// commutative operators.
+func simplifyBinary(op Op, x, y *Expr, w, rw Width) *Expr {
+	yc := y.IsConst()
+	switch op {
+	case OpAdd:
+		if yc && y.val == 0 {
+			return x
+		}
+		// (x + c1) + c2 => x + (c1+c2): flattening constant chains keeps the
+		// terms produced by interpreter loops (counters, hash mixing) small.
+		if yc && x.op == OpAdd && x.kids[1].IsConst() {
+			return Add(x.kids[0], Const(x.kids[1].val+y.val, w))
+		}
+		if yc && x.op == OpSub && x.kids[1].IsConst() {
+			return Sub(x.kids[0], Const(x.kids[1].val-y.val, w))
+		}
+	case OpSub:
+		if yc && y.val == 0 {
+			return x
+		}
+		if Equal(x, y) {
+			return Const(0, w)
+		}
+		// (x + c1) - c2 => x + (c1-c2); (x - c1) - c2 => x - (c1+c2).
+		if yc && x.op == OpAdd && x.kids[1].IsConst() {
+			return Add(x.kids[0], Const(x.kids[1].val-y.val, w))
+		}
+		if yc && x.op == OpSub && x.kids[1].IsConst() {
+			return Sub(x.kids[0], Const(x.kids[1].val+y.val, w))
+		}
+	case OpMul:
+		if yc {
+			switch y.val {
+			case 0:
+				return Const(0, w)
+			case 1:
+				return x
+			}
+		}
+	case OpAnd:
+		if yc {
+			if y.val == 0 {
+				return Const(0, w)
+			}
+			if y.val == w.Mask() {
+				return x
+			}
+		}
+		if Equal(x, y) {
+			return x
+		}
+	case OpOr:
+		if yc {
+			if y.val == 0 {
+				return x
+			}
+			if y.val == w.Mask() {
+				return Const(w.Mask(), w)
+			}
+		}
+		if Equal(x, y) {
+			return x
+		}
+	case OpXor:
+		if yc && y.val == 0 {
+			return x
+		}
+		if Equal(x, y) {
+			return Const(0, w)
+		}
+	case OpShl, OpLShr:
+		if yc && y.val == 0 {
+			return x
+		}
+		if x.IsConst() && x.val == 0 {
+			return Const(0, w)
+		}
+	case OpEq:
+		if Equal(x, y) {
+			return True
+		}
+		// eq(not(a), 0) at width 1 => a ; eq(a, 1) at width 1 => a
+		if w == W1 && yc {
+			if y.val == 1 {
+				return x
+			}
+			// y.val == 0: eq(a,0) == not(a)
+			return Not(x)
+		}
+		// eq(x + c1, c2) => eq(x, c2-c1): solves the accumulator shapes from
+		// int() parsing and string hashing without touching the SAT solver.
+		if yc && x.op == OpAdd && x.kids[1].IsConst() {
+			return Eq(x.kids[0], Const(y.val-x.kids[1].val, x.w))
+		}
+		if yc && x.op == OpSub && x.kids[1].IsConst() {
+			return Eq(x.kids[0], Const(y.val+x.kids[1].val, x.w))
+		}
+		// eq(zext(a), c): either folds to false (c exceeds a's range) or
+		// narrows to eq(a, c).
+		if yc && x.op == OpZExt {
+			inner := x.kids[0]
+			if y.val&^inner.w.Mask() != 0 {
+				return False
+			}
+			return Eq(inner, Const(y.val, inner.w))
+		}
+	case OpUlt:
+		if Equal(x, y) {
+			return False
+		}
+		if yc && y.val == 0 {
+			return False // nothing is unsigned-less than 0
+		}
+		if x.IsConst() && x.val == w.Mask() {
+			return False
+		}
+	case OpUle:
+		if Equal(x, y) {
+			return True
+		}
+		if x.IsConst() && x.val == 0 {
+			return True
+		}
+		if yc && y.val == w.Mask() {
+			return True
+		}
+	case OpSlt:
+		if Equal(x, y) {
+			return False
+		}
+	case OpSle:
+		if Equal(x, y) {
+			return True
+		}
+	}
+	return nil
+}
+
+// Add returns x + y.
+func Add(x, y *Expr) *Expr { return binary(OpAdd, x, y) }
+
+// Sub returns x - y.
+func Sub(x, y *Expr) *Expr { return binary(OpSub, x, y) }
+
+// Mul returns x * y.
+func Mul(x, y *Expr) *Expr { return binary(OpMul, x, y) }
+
+// UDiv returns the unsigned quotient x / y (all-ones when y is zero).
+func UDiv(x, y *Expr) *Expr { return binary(OpUDiv, x, y) }
+
+// URem returns the unsigned remainder x % y (x when y is zero).
+func URem(x, y *Expr) *Expr { return binary(OpURem, x, y) }
+
+// And returns the bitwise conjunction.
+func And(x, y *Expr) *Expr { return binary(OpAnd, x, y) }
+
+// Or returns the bitwise disjunction.
+func Or(x, y *Expr) *Expr { return binary(OpOr, x, y) }
+
+// Xor returns the bitwise exclusive or.
+func Xor(x, y *Expr) *Expr { return binary(OpXor, x, y) }
+
+// Shl returns x shifted left by y bits.
+func Shl(x, y *Expr) *Expr { return binary(OpShl, x, y) }
+
+// LShr returns x logically shifted right by y bits.
+func LShr(x, y *Expr) *Expr { return binary(OpLShr, x, y) }
+
+// Eq returns the width-1 comparison x == y.
+func Eq(x, y *Expr) *Expr { return binary(OpEq, x, y) }
+
+// Ne returns the width-1 comparison x != y.
+func Ne(x, y *Expr) *Expr { return Not(Eq(x, y)) }
+
+// Ult returns the width-1 unsigned comparison x < y.
+func Ult(x, y *Expr) *Expr { return binary(OpUlt, x, y) }
+
+// Ule returns the width-1 unsigned comparison x <= y.
+func Ule(x, y *Expr) *Expr { return binary(OpUle, x, y) }
+
+// Slt returns the width-1 signed comparison x < y.
+func Slt(x, y *Expr) *Expr { return binary(OpSlt, x, y) }
+
+// Sle returns the width-1 signed comparison x <= y.
+func Sle(x, y *Expr) *Expr { return binary(OpSle, x, y) }
+
+// Not returns the bitwise complement; at width 1 it is logical negation.
+func Not(x *Expr) *Expr {
+	if x.IsConst() {
+		return Const(^x.val, x.w)
+	}
+	if x.op == OpNot {
+		return x.kids[0]
+	}
+	return newNode(OpNot, x.w, x)
+}
+
+// Neg returns the two's-complement negation of x.
+func Neg(x *Expr) *Expr {
+	if x.IsConst() {
+		return Const(-x.val, x.w)
+	}
+	if x.op == OpNeg {
+		return x.kids[0]
+	}
+	return newNode(OpNeg, x.w, x)
+}
+
+// ZExt zero-extends x to width w. Extending to the same width is the
+// identity; extending to a smaller width panics.
+func ZExt(x *Expr, w Width) *Expr {
+	if w == x.w {
+		return x
+	}
+	if w < x.w {
+		panic("symexpr: ZExt to narrower width")
+	}
+	if x.IsConst() {
+		return Const(x.val, w)
+	}
+	return newNode(OpZExt, w, x)
+}
+
+// SExt sign-extends x to width w.
+func SExt(x *Expr, w Width) *Expr {
+	if w == x.w {
+		return x
+	}
+	if w < x.w {
+		panic("symexpr: SExt to narrower width")
+	}
+	if x.IsConst() {
+		return Const(uint64(signExtend(x.val, x.w)), w)
+	}
+	return newNode(OpSExt, w, x)
+}
+
+// Trunc truncates x to width w.
+func Trunc(x *Expr, w Width) *Expr {
+	if w == x.w {
+		return x
+	}
+	if w > x.w {
+		panic("symexpr: Trunc to wider width")
+	}
+	if x.IsConst() {
+		return Const(x.val, w)
+	}
+	if x.op == OpZExt || x.op == OpSExt {
+		if x.kids[0].w == w {
+			return x.kids[0]
+		}
+		if x.kids[0].w > w {
+			return Trunc(x.kids[0], w)
+		}
+	}
+	return newNode(OpTrunc, w, x)
+}
+
+// Ite returns "if c then t else f"; c must have width 1 and t, f must share
+// a width.
+func Ite(c, t, f *Expr) *Expr {
+	if c.w != W1 {
+		panic("symexpr: Ite condition must be width 1")
+	}
+	checkSameWidth(OpIte, t, f)
+	if c.IsConst() {
+		if c.val != 0 {
+			return t
+		}
+		return f
+	}
+	if Equal(t, f) {
+		return t
+	}
+	return newNode(OpIte, t.w, c, t, f)
+}
+
+// BoolAnd returns the width-1 conjunction.
+func BoolAnd(x, y *Expr) *Expr {
+	if x.w != W1 || y.w != W1 {
+		panic("symexpr: BoolAnd needs width-1 operands")
+	}
+	return And(x, y)
+}
+
+// BoolOr returns the width-1 disjunction.
+func BoolOr(x, y *Expr) *Expr {
+	if x.w != W1 || y.w != W1 {
+		panic("symexpr: BoolOr needs width-1 operands")
+	}
+	return Or(x, y)
+}

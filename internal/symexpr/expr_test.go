@@ -1,0 +1,249 @@
+package symexpr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstFolding(t *testing.T) {
+	cases := []struct {
+		name string
+		got  *Expr
+		want uint64
+	}{
+		{"add", Add(Const(3, W8), Const(250, W8)), 253},
+		{"add-wrap", Add(Const(200, W8), Const(100, W8)), 44},
+		{"sub-wrap", Sub(Const(1, W8), Const(2, W8)), 255},
+		{"mul", Mul(Const(16, W8), Const(16, W8)), 0},
+		{"udiv", UDiv(Const(17, W8), Const(5, W8)), 3},
+		{"udiv-zero", UDiv(Const(17, W8), Const(0, W8)), 255},
+		{"urem", URem(Const(17, W8), Const(5, W8)), 2},
+		{"urem-zero", URem(Const(17, W8), Const(0, W8)), 17},
+		{"and", And(Const(0xf0, W8), Const(0x3c, W8)), 0x30},
+		{"or", Or(Const(0xf0, W8), Const(0x0c, W8)), 0xfc},
+		{"xor", Xor(Const(0xff, W8), Const(0x0f, W8)), 0xf0},
+		{"shl", Shl(Const(1, W8), Const(3, W8)), 8},
+		{"shl-over", Shl(Const(1, W8), Const(9, W8)), 0},
+		{"lshr", LShr(Const(0x80, W8), Const(7, W8)), 1},
+		{"eq-t", Eq(Const(5, W8), Const(5, W8)), 1},
+		{"eq-f", Eq(Const(5, W8), Const(6, W8)), 0},
+		{"ult", Ult(Const(5, W8), Const(6, W8)), 1},
+		{"slt", Slt(Const(0xff, W8), Const(0, W8)), 1}, // -1 < 0 signed
+		{"sle", Sle(Const(0x80, W8), Const(0x7f, W8)), 1},
+		{"not", Not(Const(0xf0, W8)), 0x0f},
+		{"neg", Neg(Const(1, W8)), 0xff},
+		{"zext", ZExt(Const(0xff, W8), W32), 0xff},
+		{"sext", SExt(Const(0xff, W8), W32), 0xffffffff},
+		{"trunc", Trunc(Const(0x1234, W32), W8), 0x34},
+		{"ite-t", Ite(True, Const(1, W8), Const(2, W8)), 1},
+		{"ite-f", Ite(False, Const(1, W8), Const(2, W8)), 2},
+	}
+	for _, c := range cases {
+		if !c.got.IsConst() {
+			t.Errorf("%s: not folded to constant: %v", c.name, c.got)
+			continue
+		}
+		if c.got.ConstVal() != c.want {
+			t.Errorf("%s: got %d, want %d", c.name, c.got.ConstVal(), c.want)
+		}
+	}
+}
+
+func TestSimplifications(t *testing.T) {
+	x := NewVar(Var{Buf: "x", W: W8})
+	if got := Add(x, Const(0, W8)); got != x {
+		t.Errorf("x+0 != x: %v", got)
+	}
+	if got := Mul(x, Const(1, W8)); got != x {
+		t.Errorf("x*1 != x: %v", got)
+	}
+	if got := Mul(x, Const(0, W8)); !got.IsConst() || got.ConstVal() != 0 {
+		t.Errorf("x*0 != 0: %v", got)
+	}
+	if got := Sub(x, x); !got.IsConst() || got.ConstVal() != 0 {
+		t.Errorf("x-x != 0: %v", got)
+	}
+	if got := Xor(x, x); !got.IsConst() || got.ConstVal() != 0 {
+		t.Errorf("x^x != 0: %v", got)
+	}
+	if got := Eq(x, x); got != True {
+		t.Errorf("x==x != true: %v", got)
+	}
+	if got := Ult(x, Const(0, W8)); got != False {
+		t.Errorf("x<0 unsigned != false: %v", got)
+	}
+	if got := Not(Not(x)); got != x {
+		t.Errorf("not(not(x)) != x: %v", got)
+	}
+	if got := And(x, Const(0xff, W8)); got != x {
+		t.Errorf("x&0xff != x: %v", got)
+	}
+	b := NewVar(Var{Buf: "b", W: W1})
+	if got := Eq(b, Const(1, W1)); got != b {
+		t.Errorf("b==1 != b: %v", got)
+	}
+	if got := Eq(b, Const(0, W1)); got.Op() != OpNot {
+		t.Errorf("b==0 should be not(b): %v", got)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width mismatch")
+		}
+	}()
+	Add(Const(1, W8), Const(1, W32))
+}
+
+func TestEqualAndHash(t *testing.T) {
+	x := NewVar(Var{Buf: "x", W: W8})
+	y := NewVar(Var{Buf: "y", W: W8})
+	a := Add(x, y)
+	b := Add(NewVar(Var{Buf: "x", W: W8}), NewVar(Var{Buf: "y", W: W8}))
+	if !Equal(a, b) {
+		t.Error("structurally equal expressions compare unequal")
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("structurally equal expressions hash differently")
+	}
+	c := Add(y, x)
+	if Equal(a, c) {
+		t.Error("add(x,y) should differ from add(y,x) structurally")
+	}
+}
+
+func TestEvalMatchesFold(t *testing.T) {
+	// Property: evaluating an expression built from variables under an
+	// assignment equals building the same expression from constants.
+	f := func(av, bv uint8, pick uint8) bool {
+		x := NewVar(Var{Buf: "x", W: W8})
+		y := NewVar(Var{Buf: "y", W: W8})
+		env := Assignment{Var{Buf: "x", W: W8}: uint64(av), Var{Buf: "y", W: W8}: uint64(bv)}
+		ops := []func(a, b *Expr) *Expr{Add, Sub, Mul, UDiv, URem, And, Or, Xor, Shl, LShr, Eq, Ult, Ule, Slt, Sle}
+		op := ops[int(pick)%len(ops)]
+		sym := op(x, y)
+		conc := op(Const(uint64(av), W8), Const(uint64(bv), W8))
+		return Eval(sym, env) == conc.ConstVal()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarsCollection(t *testing.T) {
+	x := NewVar(Var{Buf: "x", W: W8})
+	y := NewVar(Var{Buf: "y", Idx: 3, W: W8})
+	e := Add(Mul(x, y), x)
+	vs := Vars(e)
+	if len(vs) != 2 {
+		t.Fatalf("got %d vars, want 2: %v", len(vs), vs)
+	}
+	if !Const(4, W8).IsConst() || len(Vars(Const(4, W8))) != 0 {
+		t.Error("constants must have no vars")
+	}
+}
+
+func TestSignExtendConst(t *testing.T) {
+	if got := SignExtendConst(0xff, W8); got != -1 {
+		t.Errorf("sext(0xff,8) = %d, want -1", got)
+	}
+	if got := SignExtendConst(0x7f, W8); got != 127 {
+		t.Errorf("sext(0x7f,8) = %d, want 127", got)
+	}
+	if got := SignExtendConst(0xffffffff, W32); got != -1 {
+		t.Errorf("sext(0xffffffff,32) = %d, want -1", got)
+	}
+}
+
+// randomExpr builds a random expression over the given vars with bounded depth.
+func randomExpr(r *rand.Rand, vars []*Expr, depth int) *Expr {
+	if depth == 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return vars[r.Intn(len(vars))]
+		}
+		return Const(uint64(r.Uint32()), W32)
+	}
+	x := randomExpr(r, vars, depth-1)
+	switch r.Intn(10) {
+	case 0:
+		return Not(x)
+	case 1:
+		return Neg(x)
+	default:
+		y := randomExpr(r, vars, depth-1)
+		ops := []func(a, b *Expr) *Expr{Add, Sub, Mul, And, Or, Xor}
+		return ops[r.Intn(len(ops))](x, y)
+	}
+}
+
+func TestRandomExprEvalStable(t *testing.T) {
+	// Property: Eval is deterministic and respects width masking.
+	r := rand.New(rand.NewSource(7))
+	vars := []*Expr{
+		NewVar(Var{Buf: "a", W: W32}),
+		NewVar(Var{Buf: "b", W: W32}),
+	}
+	for i := 0; i < 500; i++ {
+		e := randomExpr(r, vars, 5)
+		env := Assignment{
+			Var{Buf: "a", W: W32}: uint64(r.Uint32()),
+			Var{Buf: "b", W: W32}: uint64(r.Uint32()),
+		}
+		v1 := Eval(e, env)
+		v2 := Eval(e, env)
+		if v1 != v2 {
+			t.Fatalf("eval not deterministic: %d vs %d for %v", v1, v2, e)
+		}
+		if v1&^e.Width().Mask() != 0 {
+			t.Fatalf("eval exceeds width mask: %x for width %d", v1, e.Width())
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	x := NewVar(Var{Buf: "in", Idx: 2, W: W8})
+	y := NewVar(Var{Buf: "y", W: W8})
+	e := Eq(Add(x, y), Const(5, W8))
+	got := e.String()
+	want := "(eq (add in[2]:8 y[0]:8) 5:8)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAlgebraicRewrites(t *testing.T) {
+	x := NewVar(Var{Buf: "x", W: W8})
+	// Constant-chain flattening.
+	e := Add(Add(x, Const(3, W8)), Const(4, W8))
+	if e.Op() != OpAdd || !e.Child(1).IsConst() || e.Child(1).ConstVal() != 7 {
+		t.Errorf("(x+3)+4 should fold to x+7: %v", e)
+	}
+	e = Sub(Add(x, Const(3, W8)), Const(5, W8))
+	// x+3-5 = x + (3-5) = x + 254 (mod 256)
+	if e.Op() != OpAdd || e.Child(1).ConstVal() != 254 {
+		t.Errorf("(x+3)-5 should fold to x+254: %v", e)
+	}
+	// Equation normalization.
+	e = Eq(Add(x, Const(1, W8)), Const(5, W8))
+	if e.Op() != OpEq || !Equal(e.Child(0), x) || e.Child(1).ConstVal() != 4 {
+		t.Errorf("eq(x+1,5) should fold to eq(x,4): %v", e)
+	}
+	// ZExt narrowing and range contradiction.
+	wide := ZExt(x, W32)
+	e = Eq(wide, Const(300, W32))
+	if e != False {
+		t.Errorf("eq(zext8(x), 300) should be false: %v", e)
+	}
+	e = Eq(wide, Const(77, W32))
+	if e.Op() != OpEq || e.Child(0).Width() != W8 || e.Child(1).ConstVal() != 77 {
+		t.Errorf("eq(zext8(x), 77) should narrow: %v", e)
+	}
+	// Rewrites must preserve semantics (spot check against Eval).
+	env := Assignment{Var{Buf: "x", W: W8}: 200}
+	lhs := Eval(Add(Add(x, Const(3, W8)), Const(4, W8)), env)
+	if lhs != (200+7)&0xff {
+		t.Errorf("rewritten add evaluates to %d", lhs)
+	}
+}

@@ -1,0 +1,94 @@
+package symtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"chef/internal/symexpr"
+)
+
+// SerializedTest is the on-disk form of a generated test case, written by
+// cmd/chef and consumed by cmd/chef-replay.
+type SerializedTest struct {
+	Package string            `json:"package"`
+	Result  string            `json:"result"`
+	Status  string            `json:"status"`
+	Input   map[string]uint64 `json:"input"`
+}
+
+// EncodeInput flattens an assignment into a JSON-friendly map keyed by
+// "buf[idx]:width".
+func EncodeInput(in symexpr.Assignment) map[string]uint64 {
+	out := make(map[string]uint64, len(in))
+	for v, val := range in {
+		out[fmt.Sprintf("%s[%d]:%d", v.Buf, v.Idx, v.W)] = val
+	}
+	return out
+}
+
+// DecodeInput parses the EncodeInput representation.
+func DecodeInput(m map[string]uint64) (symexpr.Assignment, error) {
+	out := symexpr.Assignment{}
+	for k, val := range m {
+		lb := strings.LastIndexByte(k, '[')
+		colon := strings.LastIndexByte(k, ':')
+		if lb < 0 || colon < lb {
+			return nil, fmt.Errorf("symtest: bad input key %q", k)
+		}
+		var idx int
+		var w int
+		if _, err := fmt.Sscanf(k[lb:colon], "[%d]", &idx); err != nil {
+			return nil, fmt.Errorf("symtest: bad index in key %q", k)
+		}
+		if _, err := fmt.Sscanf(k[colon:], ":%d", &w); err != nil {
+			return nil, fmt.Errorf("symtest: bad width in key %q", k)
+		}
+		out[symexpr.Var{Buf: k[:lb], Idx: idx, W: symexpr.Width(w)}] = val
+	}
+	return out, nil
+}
+
+// MarshalTests renders test cases as newline-delimited JSON.
+func MarshalTests(tests []SerializedTest) ([]byte, error) {
+	var sb strings.Builder
+	for _, tc := range tests {
+		// Sort keys for stable output: marshal a sorted copy via a map is
+		// already sorted by encoding/json.
+		b, err := json.Marshal(tc)
+		if err != nil {
+			return nil, err
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String()), nil
+}
+
+// UnmarshalTests parses newline-delimited JSON test cases.
+func UnmarshalTests(data []byte) ([]SerializedTest, error) {
+	var out []SerializedTest
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var tc SerializedTest
+		if err := json.Unmarshal([]byte(line), &tc); err != nil {
+			return nil, err
+		}
+		out = append(out, tc)
+	}
+	return out, nil
+}
+
+// SortTests orders tests deterministically by result then input rendering.
+func SortTests(tests []SerializedTest) {
+	sort.Slice(tests, func(i, j int) bool {
+		if tests[i].Result != tests[j].Result {
+			return tests[i].Result < tests[j].Result
+		}
+		return fmt.Sprint(tests[i].Input) < fmt.Sprint(tests[j].Input)
+	})
+}

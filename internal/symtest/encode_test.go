@@ -1,0 +1,63 @@
+package symtest
+
+import (
+	"testing"
+
+	"chef/internal/symexpr"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	in := symexpr.Assignment{
+		{Buf: "email", Idx: 0, W: symexpr.W8}:     uint64('a'),
+		{Buf: "email", Idx: 5, W: symexpr.W8}:     uint64('@'),
+		{Buf: "count", Idx: 0, W: symexpr.W32}:    0xFFFF_FFFF,
+		{Buf: "odd[name]", Idx: 2, W: symexpr.W8}: 7,
+	}
+	enc := EncodeInput(in)
+	dec, err := DecodeInput(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(in) {
+		t.Fatalf("roundtrip lost entries: %d vs %d", len(dec), len(in))
+	}
+	for k, v := range in {
+		if dec[k] != v {
+			t.Errorf("key %v: got %d, want %d", k, dec[k], v)
+		}
+	}
+}
+
+func TestDecodeInputErrors(t *testing.T) {
+	for _, bad := range []map[string]uint64{
+		{"noindex:8": 1},
+		{"name[zz]:8": 1},
+		{"name[0]": 1},
+	} {
+		if _, err := DecodeInput(bad); err == nil {
+			t.Errorf("expected error for %v", bad)
+		}
+	}
+}
+
+func TestMarshalUnmarshalTests(t *testing.T) {
+	tests := []SerializedTest{
+		{Package: "p", Result: "ok", Status: "completed", Input: map[string]uint64{"a[0]:8": 65}},
+		{Package: "p", Result: "exception:ValueError", Status: "completed", Input: map[string]uint64{"a[0]:8": 0}},
+	}
+	SortTests(tests)
+	data, err := MarshalTests(tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalTests(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Result != tests[0].Result || back[1].Input["a[0]:8"] != tests[1].Input["a[0]:8"] {
+		t.Fatalf("roundtrip mismatch: %+v", back)
+	}
+	if _, err := UnmarshalTests([]byte("{bad json")); err == nil {
+		t.Error("expected unmarshal error")
+	}
+}

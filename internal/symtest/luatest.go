@@ -1,0 +1,101 @@
+package symtest
+
+import (
+	"chef/internal/chef"
+	"chef/internal/lowlevel"
+	"chef/internal/minilua"
+	"chef/internal/symexpr"
+)
+
+// LuaTest is a symbolic test for a MiniLua target: run the chunk, then call
+// Entry with the declared symbolic inputs.
+type LuaTest struct {
+	Source string
+	Entry  string
+	Inputs []Input
+	Config minilua.Config
+
+	prog *minilua.Program
+}
+
+// Compile parses and compiles the target source once.
+func (t *LuaTest) Compile() error {
+	if t.prog != nil {
+		return nil
+	}
+	p, err := minilua.Compile(t.Source)
+	if err != nil {
+		return err
+	}
+	t.prog = p
+	return nil
+}
+
+// Prog exposes the compiled program.
+func (t *LuaTest) Prog() *minilua.Program {
+	if err := t.Compile(); err != nil {
+		panic(err)
+	}
+	return t.prog
+}
+
+// Program packages the test for a CHEF session.
+func (t *LuaTest) Program() chef.TestProgram {
+	if err := t.Compile(); err != nil {
+		panic(err)
+	}
+	return func(ctx *chef.Ctx) {
+		vm, out := minilua.RunModule(t.prog, ctx.M, ctx, t.Config)
+		if out.Error != "" {
+			ctx.SetResult("moduleerror:" + out.Error)
+			return
+		}
+		args := t.buildArgs(ctx.M)
+		_, err := vm.CallFunction(t.Entry, args)
+		if err != nil {
+			ctx.SetResult("error:" + err.Msg)
+			return
+		}
+		ctx.SetResult("ok")
+	}
+}
+
+func (t *LuaTest) buildArgs(m *lowlevel.Machine) []minilua.Value {
+	args := make([]minilua.Value, len(t.Inputs))
+	for i, in := range t.Inputs {
+		switch in.Kind {
+		case StringInput:
+			args[i] = minilua.SymbolicString(m, in.Name, in.Len, in.Default)
+		case IntInput:
+			args[i] = minilua.SymbolicInt(m, in.Name, in.DefInt)
+		}
+	}
+	return args
+}
+
+// Replay re-executes a test case concretely with coverage.
+func (t *LuaTest) Replay(input symexpr.Assignment, stepLimit int64) ReplayResult {
+	if err := t.Compile(); err != nil {
+		panic(err)
+	}
+	m := lowlevel.NewConcreteMachine(input.Clone(), stepLimit)
+	cov := minilua.NewCoverageHost(t.prog)
+	res := ReplayResult{Lines: cov.Lines}
+	res.Status = m.RunConcrete(func(m *lowlevel.Machine) {
+		vm, out := minilua.RunModule(t.prog, m, cov, minilua.Vanilla)
+		if out.Error != "" {
+			res.Result = "moduleerror:" + out.Error
+			return
+		}
+		_, err := vm.CallFunction(t.Entry, t.buildArgs(m))
+		if err != nil {
+			res.Result = "error:" + err.Msg
+			return
+		}
+		res.Result = "ok"
+	})
+	if res.Status == lowlevel.RunHang && res.Result == "" {
+		res.Result = "hang"
+	}
+	return res
+}

@@ -1,0 +1,188 @@
+// Package symtest is the symbolic test library of §4.3/§5.1: it packages a
+// target program written in an interpreted language, an entry point, and a
+// set of symbolic inputs into a chef.TestProgram, and provides the replay
+// runner that re-executes generated test cases on the vanilla interpreter to
+// confirm results and measure line coverage.
+package symtest
+
+import (
+	"fmt"
+
+	"chef/internal/chef"
+	"chef/internal/lowlevel"
+	"chef/internal/minipy"
+	"chef/internal/symexpr"
+)
+
+// InputKind distinguishes symbolic input types. As in the paper's prototype,
+// symbolic program inputs are strings and integers.
+type InputKind uint8
+
+// Input kinds.
+const (
+	StringInput InputKind = iota
+	IntInput
+)
+
+// Input declares one symbolic input to the test.
+type Input struct {
+	Name    string
+	Kind    InputKind
+	Len     int    // string length (fixed buffer, like getString's '\x00'*3)
+	Default string // default bytes for the first run
+	DefInt  int32
+	// HasRange constrains an integer input to [Min, Max] through the
+	// assume() API call, as the paper's symbolic tests do for input
+	// preconditions.
+	HasRange bool
+	Min, Max int32
+}
+
+// Str declares a symbolic string input of the given length.
+func Str(name string, n int, def string) Input {
+	return Input{Name: name, Kind: StringInput, Len: n, Default: def}
+}
+
+// Int declares a symbolic integer input.
+func Int(name string, def int32) Input {
+	return Input{Name: name, Kind: IntInput, DefInt: def}
+}
+
+// IntRange declares a symbolic integer input constrained to [min, max] via
+// the assume() guest API call.
+func IntRange(name string, def, min, max int32) Input {
+	return Input{Name: name, Kind: IntInput, DefInt: def, HasRange: true, Min: min, Max: max}
+}
+
+// PyTest is a symbolic test for a MiniPy target: run the module, then call
+// Entry with the declared symbolic inputs.
+type PyTest struct {
+	Source string
+	Entry  string
+	Inputs []Input
+	Config minipy.Config
+
+	prog *minipy.Program
+}
+
+// Compile parses and compiles the target source once.
+func (t *PyTest) Compile() error {
+	if t.prog != nil {
+		return nil
+	}
+	p, err := minipy.Compile(t.Source)
+	if err != nil {
+		return err
+	}
+	t.prog = p
+	return nil
+}
+
+// Prog exposes the compiled program (for coverage denominators).
+func (t *PyTest) Prog() *minipy.Program {
+	if err := t.Compile(); err != nil {
+		panic(err)
+	}
+	return t.prog
+}
+
+// Program packages the test for a CHEF session.
+func (t *PyTest) Program() chef.TestProgram {
+	if err := t.Compile(); err != nil {
+		panic(err)
+	}
+	return func(ctx *chef.Ctx) {
+		vm, out := minipy.RunModule(t.prog, ctx.M, ctx, t.Config)
+		if out.Exception != "" {
+			ctx.SetResult("moduleerror:" + out.Exception)
+			return
+		}
+		args := make([]minipy.Value, len(t.Inputs))
+		for i, in := range t.Inputs {
+			switch in.Kind {
+			case StringInput:
+				args[i] = minipy.SymbolicString(ctx.M, in.Name, in.Len, in.Default)
+			case IntInput:
+				iv := minipy.SymbolicInt(ctx.M, in.Name, in.DefInt)
+				if in.HasRange {
+					assumeRange(ctx, iv.V, in.Min, in.Max)
+				}
+				args[i] = iv
+			}
+		}
+		res := runEntry(vm, t.Entry, args)
+		ctx.SetResult(res)
+	}
+}
+
+// assumeRange constrains a symbolic width-64 value to [min, max] via the
+// assume API call (Table 1 of the paper).
+func assumeRange(ctx *chef.Ctx, v lowlevel.SVal, min, max int32) {
+	lo := lowlevel.ConcreteVal(uint64(int64(min)), symexpr.W64)
+	hi := lowlevel.ConcreteVal(uint64(int64(max)), symexpr.W64)
+	ctx.Assume(0x9001, lowlevel.BoolAndV(lowlevel.SleV(lo, v), lowlevel.SleV(v, hi)))
+}
+
+func runEntry(vm *minipy.VM, entry string, args []minipy.Value) string {
+	_, exc := vm.CallFunction(entry, args)
+	if exc != nil {
+		return "exception:" + exc.Type
+	}
+	return "ok"
+}
+
+// ReplayResult is the outcome of replaying one test case concretely.
+type ReplayResult struct {
+	Result string
+	Status lowlevel.RunStatus
+	Lines  map[int]bool // covered source lines
+}
+
+// Replay re-executes a generated test case on the vanilla interpreter (no
+// symbolic machinery), confirming the outcome and measuring line coverage.
+func (t *PyTest) Replay(input symexpr.Assignment, stepLimit int64) ReplayResult {
+	if err := t.Compile(); err != nil {
+		panic(err)
+	}
+	m := lowlevel.NewConcreteMachine(input.Clone(), stepLimit)
+	cov := minipy.NewCoverageHost(t.prog)
+	res := ReplayResult{Lines: cov.Lines}
+	res.Status = m.RunConcrete(func(m *lowlevel.Machine) {
+		vm, out := minipy.RunModule(t.prog, m, cov, minipy.Vanilla)
+		if out.Exception != "" {
+			res.Result = "moduleerror:" + out.Exception
+			return
+		}
+		args := make([]minipy.Value, len(t.Inputs))
+		for i, in := range t.Inputs {
+			switch in.Kind {
+			case StringInput:
+				args[i] = minipy.SymbolicString(m, in.Name, in.Len, in.Default)
+			case IntInput:
+				args[i] = minipy.SymbolicInt(m, in.Name, in.DefInt)
+			}
+		}
+		res.Result = runEntry(vm, t.Entry, args)
+	})
+	if res.Status == lowlevel.RunHang && res.Result == "" {
+		res.Result = "hang"
+	}
+	return res
+}
+
+// InputString renders a test-case input buffer for diagnostics.
+func InputString(in symexpr.Assignment, inputs []Input) string {
+	s := ""
+	for i, decl := range inputs {
+		if i > 0 {
+			s += " "
+		}
+		switch decl.Kind {
+		case StringInput:
+			s += fmt.Sprintf("%s=%q", decl.Name, minipy.ConcreteStringFromInput(in, decl.Name, decl.Len))
+		case IntInput:
+			s += fmt.Sprintf("%s=%d", decl.Name, int32(in[symexpr.Var{Buf: decl.Name, W: symexpr.W32}]))
+		}
+	}
+	return s
+}

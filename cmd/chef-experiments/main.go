@@ -19,20 +19,41 @@ import (
 	"chef/internal/experiments"
 	"chef/internal/minipy"
 	"chef/internal/packages"
+	"chef/internal/solver"
 	"chef/internal/symexpr"
 )
 
 func main() {
 	var (
-		which   = flag.String("experiment", "all", "all | table2 | table3 | table4 | fig8 | fig9 | fig10 | fig11 | fig12 | nicebug | portfolio | crosscheck")
-		budget  = flag.Int64("budget", 3_000_000, "virtual-time budget per session")
-		stepCap = flag.Int64("steplimit", 60_000, "per-run hang threshold")
-		reps    = flag.Int("reps", 3, "repetitions per data point")
-		seed    = flag.Int64("seed", 1, "base seed")
-		frames  = flag.Int("frames", 4, "max symbolic frames for fig12")
+		which    = flag.String("experiment", "all", "all | table2 | table3 | table4 | fig8 | fig9 | fig10 | fig11 | fig12 | nicebug | portfolio | crosscheck")
+		budget   = flag.Int64("budget", 3_000_000, "virtual-time budget per session")
+		stepCap  = flag.Int64("steplimit", 60_000, "per-run hang threshold")
+		reps     = flag.Int("reps", 3, "repetitions per data point")
+		seed     = flag.Int64("seed", 1, "base seed")
+		frames   = flag.Int("frames", 4, "max symbolic frames for fig12")
+		parallel = flag.Int("parallel", 0, "worker goroutines for the session grid (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+		shared   = flag.Bool("sharedcache", false, "share one counterexample cache across all sessions (throughput knob; models may then depend on scheduling)")
+		stats    = flag.Bool("stats", false, "print harness statistics (sessions, solver queries, cache hits/misses) after each experiment")
 	)
 	flag.Parse()
-	b := experiments.Budgets{Time: *budget, StepLimit: *stepCap, Reps: *reps, Seed: *seed}
+	b := experiments.Budgets{Time: *budget, StepLimit: *stepCap, Reps: *reps, Seed: *seed, Parallel: *parallel}
+	if *shared {
+		b.Cache = solver.NewQueryCache(0)
+	}
+	printStats := func() {
+		if !*stats {
+			return
+		}
+		hs := experiments.HarnessSnapshot()
+		fmt.Printf("[harness] workers=%d sessions=%d solver-queries=%d cache-hits=%d cache-misses=%d\n",
+			b.Workers(), hs.Sessions, hs.SolverQueries, hs.CacheHits, hs.CacheMisses)
+		if b.Cache != nil {
+			cs := b.Cache.Stats()
+			fmt.Printf("[shared-cache] queries=%d hits=%d misses=%d stores=%d evictions=%d entries=%d\n",
+				cs.Queries, cs.Hits, cs.Misses, cs.Stores, cs.Evictions, cs.Entries)
+		}
+		experiments.ResetHarnessStats()
+	}
 
 	run := map[string]func(){
 		"table2":    func() { fmt.Println(experiments.RenderTable2(experiments.Table2())) },
@@ -61,6 +82,7 @@ func main() {
 		for _, k := range order {
 			fmt.Printf("==== %s ====\n", k)
 			run[k]()
+			printStats()
 		}
 		return
 	}
@@ -70,6 +92,7 @@ func main() {
 		os.Exit(1)
 	}
 	f()
+	printStats()
 }
 
 // nicebug reproduces the §6.6 reference-implementation experiment: the
@@ -122,7 +145,7 @@ func portfolio(b experiments.Budgets) {
 	for _, m := range members {
 		ms = append(ms, chefPkg.PortfolioMember{Name: m.name, Prog: m.prog})
 	}
-	opts := chefPkg.Options{Strategy: chefPkg.StrategyCUPAPath, Seed: b.Seed, StepLimit: b.StepLimit}
+	opts := chefPkg.Options{Strategy: chefPkg.StrategyCUPAPath, Seed: b.Seed, StepLimit: b.StepLimit, Parallel: b.Parallel}
 	res := chefPkg.RunPortfolio(ms, opts, b.Time)
 	fmt.Printf("Portfolio over %d interpreter builds of xlrd (total budget %d):\n", len(ms), b.Time)
 	for i, m := range ms {

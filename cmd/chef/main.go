@@ -118,4 +118,3 @@ func renderInput(p *packages.Package, tc symtest.SerializedTest) string {
 	}
 	return symtest.InputString(in, p.Inputs)
 }
-

@@ -77,6 +77,10 @@ type Options struct {
 	SolverOptions solver.Options
 	// ForkWeightDecay is the p of §3.4; 0 means the paper's 0.75.
 	ForkWeightDecay float64
+	// Parallel bounds the worker count of multi-session drivers such as
+	// RunPortfolio; 0 means runtime.GOMAXPROCS(0), 1 forces serial
+	// execution. A single Session is always confined to one goroutine.
+	Parallel int
 }
 
 // TestCase is one generated high-level test case: a concrete input

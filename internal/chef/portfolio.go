@@ -1,5 +1,10 @@
 package chef
 
+import (
+	"runtime"
+	"sync"
+)
+
 // Portfolio exploration implements the extension §6.5 of the paper suggests:
 // "for large packages, a portfolio of interpreter builds with different
 // optimizations enabled would help further increase the path coverage."
@@ -31,19 +36,56 @@ type PortfolioResult struct {
 }
 
 // RunPortfolio explores every member under an equal share of the budget and
-// merges distinct high-level paths.
+// merges distinct high-level paths. Member sessions are independent (each
+// owns its RNG, machine and solver), so they fan out over up to
+// opts.Parallel workers (0 means runtime.GOMAXPROCS(0)); the merge walks the
+// gathered results in member order, so the outcome is identical to a serial
+// run regardless of scheduling.
 func RunPortfolio(members []PortfolioMember, opts Options, budget int64) PortfolioResult {
 	res := PortfolioResult{}
 	if len(members) == 0 {
 		return res
 	}
 	share := budget / int64(len(members))
-	seen := map[uint64]bool{}
-	for i, m := range members {
+	perMember := make([][]TestCase, len(members))
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(members) {
+		workers = len(members)
+	}
+	runMember := func(i int) {
 		memberOpts := opts
 		memberOpts.Seed = opts.Seed + int64(i)*104729
-		s := NewSession(m.Prog, memberOpts)
-		tests := s.Run(share)
+		s := NewSession(members[i].Prog, memberOpts)
+		perMember[i] = s.Run(share)
+	}
+	if workers <= 1 {
+		for i := range members {
+			runMember(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runMember(i)
+				}
+			}()
+		}
+		for i := range members {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	// Deterministic merge in member order: first build to find a path wins.
+	seen := map[uint64]bool{}
+	for _, tests := range perMember {
 		res.PerBuild = append(res.PerBuild, len(tests))
 		fresh := 0
 		for _, tc := range tests {

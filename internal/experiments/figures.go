@@ -9,6 +9,7 @@ import (
 	"chef/internal/dedicated"
 	"chef/internal/minipy"
 	"chef/internal/packages"
+	"chef/internal/solver"
 	"chef/internal/symexpr"
 )
 
@@ -23,14 +24,27 @@ type Fig8Row struct {
 }
 
 // Fig8 reproduces Figure 8: the number of high-level test cases generated
-// under each configuration, relative to the random-selection baseline.
+// under each configuration, relative to the random-selection baseline. The
+// full package x configuration x repetition grid fans out over the worker
+// pool; aggregation walks the gathered results in grid order, so the rows
+// are identical to a serial run.
 func Fig8(b Budgets) []Fig8Row {
 	configs := FourConfigurations(true)
+	pkgs := packages.All()
+	var cells []cell
+	for _, p := range pkgs {
+		for _, cfg := range configs {
+			cells = append(cells, repCells(p, cfg, b)...)
+		}
+	}
+	results := runCells(b, cells)
 	var rows []Fig8Row
-	for _, p := range packages.All() {
+	idx := 0
+	for _, p := range pkgs {
 		row := Fig8Row{Package: p.Name, Lang: p.Lang.String()}
-		for ci, cfg := range configs {
-			t, _, _ := RunRepeated(p, cfg, b)
+		for ci := range configs {
+			t, _, _ := aggregate(results[idx : idx+b.Reps])
+			idx += b.Reps
 			row.Tests[ci] = t
 		}
 		base := row.Tests[0].Mean
@@ -73,14 +87,25 @@ type Fig9Row struct {
 }
 
 // Fig9 reproduces Figure 9: line coverage achieved by each configuration
-// with the coverage-optimized CUPA.
+// with the coverage-optimized CUPA. Like Fig8, the whole grid runs on the
+// worker pool with order-preserving aggregation.
 func Fig9(b Budgets) []Fig9Row {
 	configs := FourConfigurations(false)
+	pkgs := packages.All()
+	var cells []cell
+	for _, p := range pkgs {
+		for _, cfg := range configs {
+			cells = append(cells, repCells(p, cfg, b)...)
+		}
+	}
+	results := runCells(b, cells)
 	var rows []Fig9Row
-	for _, p := range packages.All() {
+	idx := 0
+	for _, p := range pkgs {
 		row := Fig9Row{Package: p.Name, Lang: p.Lang.String()}
-		for ci, cfg := range configs {
-			_, c, _ := RunRepeated(p, cfg, b)
+		for ci := range configs {
+			_, c, _ := aggregate(results[idx : idx+b.Reps])
+			idx += b.Reps
 			row.Coverage[ci] = c
 		}
 		rows = append(rows, row)
@@ -122,7 +147,19 @@ type Fig10Series struct {
 // of each language.
 func Fig10(b Budgets) []Fig10Series {
 	configs := FourConfigurations(true)
+	// Flatten the (language, configuration, package) grid into cells, run
+	// them on the pool, and walk the results in the same nesting order.
+	var cells []cell
+	for _, langPkgs := range [][]*packages.Package{packages.PythonPackages(), packages.LuaPackages()} {
+		for _, cfg := range configs {
+			for _, p := range langPkgs {
+				cells = append(cells, cell{p: p, cfg: cfg, seed: b.Seed})
+			}
+		}
+	}
+	results := runCells(b, cells)
 	var out []Fig10Series
+	idx := 0
 	for _, langPkgs := range [][]*packages.Package{packages.PythonPackages(), packages.LuaPackages()} {
 		if len(langPkgs) == 0 {
 			continue
@@ -131,8 +168,9 @@ func Fig10(b Budgets) []Fig10Series {
 		for _, cfg := range configs {
 			deciles := make([]float64, 10)
 			counts := make([]int, 10)
-			for _, p := range langPkgs {
-				res := RunPackage(p, cfg, b, b.Seed)
+			for range langPkgs {
+				res := results[idx]
+				idx++
 				for d := 1; d <= 10; d++ {
 					t := b.Time * int64(d) / 10
 					// Latest sample at or before t.
@@ -191,12 +229,22 @@ type Fig11Row struct {
 // optimizations, one cumulative level at a time, with path-optimized CUPA.
 func Fig11(b Budgets) []Fig11Row {
 	levels := minipy.OptLevels()
-	var rows []Fig11Row
-	for _, p := range packages.PythonPackages() {
-		row := Fig11Row{Package: p.Name}
+	pkgs := packages.PythonPackages()
+	var cells []cell
+	for _, p := range pkgs {
 		for li, lvl := range levels {
 			cfg := Configuration{Name: minipy.OptLevelNames()[li], Strategy: chef.StrategyCUPAPath, PyCfg: lvl}
-			t, _, _ := RunRepeated(p, cfg, b)
+			cells = append(cells, repCells(p, cfg, b)...)
+		}
+	}
+	results := runCells(b, cells)
+	var rows []Fig11Row
+	idx := 0
+	for _, p := range pkgs {
+		row := Fig11Row{Package: p.Name}
+		for li := range levels {
+			t, _, _ := aggregate(results[idx : idx+b.Reps])
+			idx += b.Reps
 			row.Tests[li] = t
 		}
 		full := row.Tests[3].Mean
@@ -243,10 +291,14 @@ type Fig12Point struct {
 // controller, for 1..maxFrames symbolic frames and each optimization build.
 func Fig12(maxFrames int, b Budgets) []Fig12Point {
 	const macLen = 2
-	var out []Fig12Point
 	levels := minipy.OptLevels()
 	names := minipy.OptLevelNames()
-	for n := 1; n <= maxFrames; n++ {
+	// Each frame count is an independent (dedicated engine + CHEF builds)
+	// measurement; fan the frame counts out over the pool and concatenate in
+	// frame order.
+	perFrame := make([][]Fig12Point, maxFrames)
+	parfor(b.Workers(), maxFrames, func(fi int) {
+		n := fi + 1
 		// Dedicated engine: explore the flat controller exhaustively.
 		src := packages.MacLearningFlatSource(n)
 		prog := minipy.MustCompile(src)
@@ -266,15 +318,24 @@ func Fig12(maxFrames int, b Budgets) []Fig12Point {
 
 		for li, lvl := range levels {
 			pt := packages.MacLearningFlatTest(n, macLen, lvl)
-			s := chef.NewSession(pt.Program(), chef.Options{Strategy: chef.StrategyCUPAPath, Seed: b.Seed, StepLimit: b.StepLimit})
+			s := chef.NewSession(pt.Program(), chef.Options{
+				Strategy:      chef.StrategyCUPAPath,
+				Seed:          b.Seed,
+				StepLimit:     b.StepLimit,
+				SolverOptions: solver.Options{Cache: b.Cache},
+			})
 			tests := s.Run(b.Time)
 			paths := len(tests)
 			if paths == 0 {
 				paths = 1
 			}
 			chefPerPath := float64(s.Engine().Clock()) / float64(paths)
-			out = append(out, Fig12Point{Frames: n, Level: names[li], Overhead: chefPerPath / dedPerPath})
+			perFrame[fi] = append(perFrame[fi], Fig12Point{Frames: n, Level: names[li], Overhead: chefPerPath / dedPerPath})
 		}
+	})
+	var out []Fig12Point
+	for _, pts := range perFrame {
+		out = append(out, pts...)
 	}
 	return out
 }

@@ -1,0 +1,116 @@
+// Worker-pool execution layer for the experiment harness.
+//
+// The paper's evaluation ran its 11-package x 4-configuration grid on a
+// 48-core machine; this file supplies the corresponding fan-out for the Go
+// reproduction. Every CHEF session is deterministic given its seed and
+// virtual clock and shares no mutable state with its siblings (each session
+// owns its RNG, machine, strategy and solver), so the grid is embarrassingly
+// parallel: cells execute on up to Budgets.Workers() goroutines and results
+// land in slices indexed by cell position, making every table and figure
+// byte-for-byte identical to the serial output regardless of scheduling.
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"chef/internal/packages"
+	"chef/internal/solver"
+)
+
+// cell is one unit of grid work: one session of one package under one
+// configuration and seed.
+type cell struct {
+	p    *packages.Package
+	cfg  Configuration
+	seed int64
+}
+
+// parfor runs fn(0..n-1) on at most workers goroutines and returns when all
+// calls finished. workers <= 1 degrades to a plain loop on the caller's
+// goroutine (the -parallel 1 serial baseline).
+func parfor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runCells executes every cell on the worker pool and gathers results in
+// cell order.
+func runCells(b Budgets, cells []cell) []RunResult {
+	out := make([]RunResult, len(cells))
+	parfor(b.Workers(), len(cells), func(i int) {
+		out[i] = RunPackage(cells[i].p, cells[i].cfg, b, cells[i].seed)
+	})
+	return out
+}
+
+// HarnessStats aggregates solver-side work across every session the harness
+// has run since the last reset: how many sessions executed, how many
+// satisfiability queries they issued, and how the counterexample caches
+// fared. When sessions share a cache (Budgets.Cache), CacheStats of that
+// cache adds eviction and entry counts.
+type HarnessStats struct {
+	Sessions      int64
+	SolverQueries int64
+	CacheHits     int64
+	CacheMisses   int64
+}
+
+var harness struct {
+	sessions atomic.Int64
+	queries  atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// recordSession folds one finished session's solver counters into the
+// harness totals. Called from worker goroutines; all fields are atomics.
+func recordSession(st solver.Stats) {
+	harness.sessions.Add(1)
+	harness.queries.Add(st.Queries)
+	harness.hits.Add(st.CacheHits)
+	harness.misses.Add(st.CacheMisses)
+}
+
+// HarnessSnapshot returns the accumulated harness counters.
+func HarnessSnapshot() HarnessStats {
+	return HarnessStats{
+		Sessions:      harness.sessions.Load(),
+		SolverQueries: harness.queries.Load(),
+		CacheHits:     harness.hits.Load(),
+		CacheMisses:   harness.misses.Load(),
+	}
+}
+
+// ResetHarnessStats zeroes the harness counters (tests and the CLI call it
+// between experiments).
+func ResetHarnessStats() {
+	harness.sessions.Store(0)
+	harness.queries.Store(0)
+	harness.hits.Store(0)
+	harness.misses.Store(0)
+}

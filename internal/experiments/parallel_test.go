@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"testing"
+
+	"chef/internal/chef"
+	"chef/internal/minipy"
+	"chef/internal/packages"
+	"chef/internal/solver"
+)
+
+// quickParallelBudgets trims the grid enough for a unit test while keeping
+// several repetitions so aggregation order matters.
+func quickParallelBudgets(workers int) Budgets {
+	b := QuickBudgets()
+	b.Time = 300_000
+	b.Reps = 2
+	b.Parallel = workers
+	return b
+}
+
+// TestRunRepeatedParallelDeterminism proves the tentpole property at the
+// RunRepeated level: identical budgets and seeds give identical aggregates
+// whether the repetitions run on one worker or eight.
+func TestRunRepeatedParallelDeterminism(t *testing.T) {
+	p, _ := packages.ByName("simplejson")
+	cfg := FourConfigurations(true)[3]
+
+	serial := quickParallelBudgets(1)
+	parallel := quickParallelBudgets(8)
+
+	st, sc, slast := RunRepeated(p, cfg, serial)
+	pt, pc, plast := RunRepeated(p, cfg, parallel)
+
+	if st != pt || sc != pc {
+		t.Fatalf("aggregates diverged:\n serial   tests=%+v cov=%+v\n parallel tests=%+v cov=%+v", st, sc, pt, pc)
+	}
+	if slast.HLTests != plast.HLTests || slast.LLPaths != plast.LLPaths ||
+		slast.Coverage != plast.Coverage || slast.VirtTime != plast.VirtTime {
+		t.Fatalf("last repetition diverged:\n serial   %+v\n parallel %+v", slast, plast)
+	}
+}
+
+// TestTable3ParallelDeterminism runs a full table runner twice — serial
+// (-parallel 1) and parallel (-parallel 8) — and asserts the rendered table
+// strings are byte-for-byte identical.
+func TestTable3ParallelDeterminism(t *testing.T) {
+	serial := RenderTable3(Table3(quickParallelBudgets(1)))
+	parallel := RenderTable3(Table3(quickParallelBudgets(8)))
+	if serial != parallel {
+		t.Fatalf("Table 3 output depends on scheduling:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestFig8ParallelDeterminism runs a full figure runner twice — serial and
+// at 8 workers — and asserts the rendered figure strings are byte-for-byte
+// identical. Together with the Table 3 test this covers the acceptance
+// criterion: one table and one figure proven schedule-independent.
+func TestFig8ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid in -short mode")
+	}
+	serial := RenderFig8(Fig8(quickParallelBudgets(1)))
+	parallel := RenderFig8(Fig8(quickParallelBudgets(8)))
+	if serial != parallel {
+		t.Fatalf("Figure 8 output depends on scheduling:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestRunPortfolioParallelDeterminism checks that the portfolio driver's
+// deterministic merge gives identical results for serial and parallel
+// member execution.
+func TestRunPortfolioParallelDeterminism(t *testing.T) {
+	p, _ := packages.ByName("simplejson")
+	var members []chef.PortfolioMember
+	names := minipy.OptLevelNames()
+	for li, lvl := range minipy.OptLevels() {
+		members = append(members, chef.PortfolioMember{Name: names[li], Prog: p.PyTest(lvl).Program()})
+	}
+	run := func(workers int) chef.PortfolioResult {
+		return chef.RunPortfolio(members, chef.Options{
+			Strategy:  chef.StrategyCUPAPath,
+			Seed:      7,
+			StepLimit: 30_000,
+			Parallel:  workers,
+		}, 800_000)
+	}
+	serial := run(1)
+	parallel := run(8)
+	if len(serial.Tests) != len(parallel.Tests) {
+		t.Fatalf("merged path counts diverged: serial %d, parallel %d", len(serial.Tests), len(parallel.Tests))
+	}
+	for i := range serial.Tests {
+		if serial.Tests[i].HLSig != parallel.Tests[i].HLSig {
+			t.Fatalf("merged test %d diverged: serial sig %x, parallel sig %x", i, serial.Tests[i].HLSig, parallel.Tests[i].HLSig)
+		}
+	}
+	for i := range serial.PerBuild {
+		if serial.PerBuild[i] != parallel.PerBuild[i] || serial.NewPerBuild[i] != parallel.NewPerBuild[i] {
+			t.Fatalf("per-build counts diverged at member %d: serial (%d,%d), parallel (%d,%d)",
+				i, serial.PerBuild[i], serial.NewPerBuild[i], parallel.PerBuild[i], parallel.NewPerBuild[i])
+		}
+	}
+}
+
+// TestHarnessStatsAccumulate checks that the harness counters see every
+// session and that solver-level cache accounting is consistent
+// (hits + misses == cacheable queries).
+func TestHarnessStatsAccumulate(t *testing.T) {
+	ResetHarnessStats()
+	p, _ := packages.ByName("cliargs")
+	b := quickParallelBudgets(4)
+	RunRepeated(p, FourConfigurations(true)[0], b)
+	hs := HarnessSnapshot()
+	if hs.Sessions != int64(b.Reps) {
+		t.Fatalf("harness saw %d sessions, want %d", hs.Sessions, b.Reps)
+	}
+	if hs.SolverQueries <= 0 {
+		t.Fatal("harness recorded no solver queries")
+	}
+	if hs.CacheHits+hs.CacheMisses <= 0 || hs.CacheHits+hs.CacheMisses > hs.SolverQueries {
+		t.Fatalf("cache accounting inconsistent: hits=%d misses=%d queries=%d",
+			hs.CacheHits, hs.CacheMisses, hs.SolverQueries)
+	}
+	ResetHarnessStats()
+}
+
+// TestSharedCacheAcrossSessions runs the same grid point with a shared
+// counterexample cache and checks that cross-session reuse actually happens:
+// later repetitions hit entries stored by earlier ones.
+func TestSharedCacheAcrossSessions(t *testing.T) {
+	p, _ := packages.ByName("simplejson")
+	cfg := FourConfigurations(true)[3]
+	b := quickParallelBudgets(4)
+	b.Cache = solver.NewQueryCache(0)
+	// Same seed for every repetition: identical sessions, so the second one
+	// replays the first one's queries.
+	cells := []cell{{p: p, cfg: cfg, seed: b.Seed}, {p: p, cfg: cfg, seed: b.Seed}}
+	runCells(b, cells)
+	cs := b.Cache.Stats()
+	if cs.Hits == 0 {
+		t.Fatalf("no cross-session cache hits: %+v", cs)
+	}
+	if cs.Hits+cs.Misses != cs.Queries {
+		t.Fatalf("cache counters do not add up: %+v", cs)
+	}
+}
+
+// TestParfor exercises the pool helper's edge cases.
+func TestParfor(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 37
+		got := make([]int, n)
+		parfor(workers, n, func(i int) { got[i] = i + 1 })
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("workers=%d: index %d not executed (got %d)", workers, i, v)
+			}
+		}
+	}
+	parfor(4, 0, func(int) { t.Fatal("must not run") })
+}
+
+// TestBudgetsWorkers pins the worker-count policy.
+func TestBudgetsWorkers(t *testing.T) {
+	if (Budgets{Parallel: 3}).Workers() != 3 {
+		t.Fatal("explicit Parallel not honored")
+	}
+	if (Budgets{}).Workers() < 1 {
+		t.Fatal("default workers must be >= 1")
+	}
+}

@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"math"
+	"runtime"
 	"sort"
 
 	"chef/internal/chef"
@@ -18,6 +19,7 @@ import (
 	"chef/internal/minilua"
 	"chef/internal/minipy"
 	"chef/internal/packages"
+	"chef/internal/solver"
 )
 
 // Budgets collects the virtual-time knobs of a run, standing in for the
@@ -31,6 +33,24 @@ type Budgets struct {
 	Reps int
 	// Seed is the base seed.
 	Seed int64
+	// Parallel bounds the number of worker goroutines the harness fans
+	// session runs out over; 0 means runtime.GOMAXPROCS(0), 1 forces serial
+	// execution. Results are deterministic and byte-identical for every
+	// value (sessions are isolated; gathering preserves grid order).
+	Parallel int
+	// Cache, when non-nil, is a counterexample cache shared by every session
+	// of the run (cross-session hit reuse). nil keeps the default private
+	// per-session caches, which additionally guarantees bit-exact
+	// reproducibility across schedules; see solver.QueryCache.
+	Cache *solver.QueryCache
+}
+
+// Workers returns the effective worker count of the harness pool.
+func (b Budgets) Workers() int {
+	if b.Parallel > 0 {
+		return b.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultBudgets returns budgets sized for the benchmark harness: large
@@ -79,15 +99,17 @@ type RunResult struct {
 	Hangs      int
 	Series     []chef.SamplePoint
 	VirtTime   int64
+	Solver     solver.Stats
 }
 
 // RunPackage explores one package under one configuration and replays the
 // generated tests to confirm outcomes and measure line coverage.
 func RunPackage(p *packages.Package, cfg Configuration, b Budgets, seed int64) RunResult {
 	opts := chef.Options{
-		Strategy:  cfg.Strategy,
-		Seed:      seed,
-		StepLimit: b.StepLimit,
+		Strategy:      cfg.Strategy,
+		Seed:          seed,
+		StepLimit:     b.StepLimit,
+		SolverOptions: solver.Options{Cache: b.Cache},
 	}
 	res := RunResult{Package: p.Name, Config: cfg.Name, Exceptions: map[string]bool{}}
 	var tests []chef.TestCase
@@ -126,6 +148,8 @@ func RunPackage(p *packages.Package, cfg Configuration, b Budgets, seed int64) R
 	res.Coverage = float64(len(covered)) / float64(coverable)
 	res.Series = session.Series()
 	res.VirtTime = session.Engine().Clock()
+	res.Solver = session.Engine().Solver().Stats()
+	recordSession(res.Solver)
 	return res
 }
 
@@ -163,12 +187,22 @@ type Aggregated struct {
 	Std  float64
 }
 
-// RunRepeated runs RunPackage b.Reps times with varying seeds and aggregates
-// test counts and coverage.
-func RunRepeated(p *packages.Package, cfg Configuration, b Budgets) (tests, coverage Aggregated, last RunResult) {
-	var ts, cs []float64
+// repCells expands one (package, configuration) grid point into its b.Reps
+// session cells, with the same seed schedule the serial harness used.
+func repCells(p *packages.Package, cfg Configuration, b Budgets) []cell {
+	cells := make([]cell, 0, b.Reps)
 	for r := 0; r < b.Reps; r++ {
-		res := RunPackage(p, cfg, b, b.Seed+int64(r)*7919)
+		cells = append(cells, cell{p: p, cfg: cfg, seed: b.Seed + int64(r)*7919})
+	}
+	return cells
+}
+
+// aggregate folds per-repetition results into the (mean, std) pairs the
+// tables and figures report. last is the highest-seed repetition, matching
+// the serial harness.
+func aggregate(results []RunResult) (tests, coverage Aggregated, last RunResult) {
+	var ts, cs []float64
+	for _, res := range results {
 		ts = append(ts, float64(res.HLTests))
 		cs = append(cs, res.Coverage)
 		last = res
@@ -176,6 +210,14 @@ func RunRepeated(p *packages.Package, cfg Configuration, b Budgets) (tests, cove
 	tm, tstd := meanStd(ts)
 	cm, cstd := meanStd(cs)
 	return Aggregated{tm, tstd}, Aggregated{cm, cstd}, last
+}
+
+// RunRepeated runs RunPackage b.Reps times with varying seeds, fanning the
+// repetitions out over the worker pool, and aggregates test counts and
+// coverage. Results are gathered in repetition order, so the output is
+// byte-identical to a serial run for any Parallel value.
+func RunRepeated(p *packages.Package, cfg Configuration, b Budgets) (tests, coverage Aggregated, last RunResult) {
+	return aggregate(runCells(b, repCells(p, cfg, b)))
 }
 
 // sortedKeys returns sorted map keys for deterministic rendering.

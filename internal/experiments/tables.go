@@ -58,12 +58,19 @@ type Table3Row struct {
 }
 
 // Table3 runs the full engine (CUPA + optimizations) on every package and
-// reports the discovered exceptions and hangs.
+// reports the discovered exceptions and hangs. The per-package sessions fan
+// out over the worker pool; rows are assembled in registry order.
 func Table3(b Budgets) []Table3Row {
 	cfg := FourConfigurations(true)[3] // CUPA + optimizations
+	pkgs := packages.All()
+	cells := make([]cell, len(pkgs))
+	for i, p := range pkgs {
+		cells[i] = cell{p: p, cfg: cfg, seed: b.Seed}
+	}
+	results := runCells(b, cells)
 	var rows []Table3Row
-	for _, p := range packages.All() {
-		res := RunPackage(p, cfg, b, b.Seed)
+	for i, p := range pkgs {
+		res := results[i]
 		row := Table3Row{
 			Package:      p.Name,
 			Lang:         p.Lang.String(),

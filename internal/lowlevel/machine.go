@@ -3,6 +3,7 @@ package lowlevel
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"chef/internal/symexpr"
 )
@@ -226,9 +227,17 @@ func (m *Machine) ConcretizeFork(llpc LLPC, v SVal) uint64 {
 		m.eng.seenValues[key] = seen
 	}
 	seen[v.C] = true
-	// Alternate: all previously seen values excluded.
-	alt := symexpr.True
+	// Alternate: all previously seen values excluded. The exclusions are
+	// conjoined in sorted value order — Go map iteration order would build
+	// structurally different (though logically equivalent) constraints from
+	// run to run, breaking the determinism the parallel harness depends on.
+	vals := make([]uint64, 0, len(seen))
 	for sv := range seen {
+		vals = append(vals, sv)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	alt := symexpr.True
+	for _, sv := range vals {
 		alt = symexpr.BoolAnd(alt, symexpr.Ne(v.Expr(), symexpr.Const(sv, v.W)))
 	}
 	altSig := sigStep(m.sig, llpc, ^v.C)

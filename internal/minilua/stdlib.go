@@ -1,9 +1,26 @@
 package minilua
 
 import (
+	"sort"
+
 	"chef/internal/lowlevel"
 	"chef/internal/symexpr"
 )
+
+// sortedNames returns the keys of a builtin-function map in sorted order.
+// Installation order matters for determinism: library tables are ordinary
+// Lua tables whose bucket chains are scanned linearly (with per-entry
+// virtual-time steps, and — under hash neutralization — a single shared
+// bucket), so installing in Go map iteration order would make per-run step
+// counts, and therefore the session's virtual clock, vary between runs.
+func sortedNames(m map[string]func(vm *VM, args []Value) (Value, *LuaError)) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // installStdlib populates the global namespace with MiniLua's standard
 // library: the base functions and the string/table libraries the evaluation
@@ -21,14 +38,14 @@ func (vm *VM) installStdlib() {
 	g["assert"] = &BuiltinVal{Name: "assert", Fn: biAssert}
 
 	strTbl := NewTable()
-	for name, fn := range stringLib {
-		_ = vm.indexSet(strTbl, MkStr(name), &BuiltinVal{Name: "string." + name, Fn: fn})
+	for _, name := range sortedNames(stringLib) {
+		_ = vm.indexSet(strTbl, MkStr(name), &BuiltinVal{Name: "string." + name, Fn: stringLib[name]})
 	}
 	g["string"] = strTbl
 
 	tblTbl := NewTable()
-	for name, fn := range tableLib {
-		_ = vm.indexSet(tblTbl, MkStr(name), &BuiltinVal{Name: "table." + name, Fn: fn})
+	for _, name := range sortedNames(tableLib) {
+		_ = vm.indexSet(tblTbl, MkStr(name), &BuiltinVal{Name: "table." + name, Fn: tableLib[name]})
 	}
 	g["table"] = tblTbl
 }

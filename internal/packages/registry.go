@@ -76,13 +76,22 @@ func (p *Package) LOC() int {
 }
 
 // CoverableLOC counts lines carrying compiled instructions (the paper's
-// "coverable LOC" column).
+// "coverable LOC" column). Compilation goes through the interned
+// process-wide cache, so concurrent table builders share one compile.
 func (p *Package) CoverableLOC() int {
 	switch p.Lang {
 	case Python:
-		return len(minipy.MustCompile(p.Source).CoverableLines())
+		prog, err := symtest.InternedPyProgram(p.Source)
+		if err != nil {
+			panic(err)
+		}
+		return len(prog.CoverableLines())
 	default:
-		return len(minilua.MustCompile(p.Source).CoverableLines())
+		prog, err := symtest.InternedLuaProgram(p.Source)
+		if err != nil {
+			panic(err)
+		}
+		return len(prog.CoverableLines())
 	}
 }
 

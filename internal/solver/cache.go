@@ -1,0 +1,174 @@
+package solver
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"chef/internal/symexpr"
+)
+
+// QueryCache is the solver's counterexample cache, promoted to an explicit
+// type so it can be shared across solvers (and therefore across sessions
+// running on different goroutines). It memoizes the outcome of CNF-level
+// queries — the constraint set that survives constant filtering and
+// independent-constraint slicing — keyed by an order-insensitive hash with
+// exact structural confirmation on each bucket entry.
+//
+// The cache is sharded: each shard holds its own mutex, map and FIFO eviction
+// queue, so concurrent sessions mostly touch distinct shards. All counters
+// are atomics, safe to read while the cache is in use.
+//
+// Determinism note: a Solver that owns a private QueryCache is fully
+// deterministic. A cache *shared* between concurrently running sessions is
+// still safe and sound (entries record logically valid results), but the
+// model returned for a Sat hit may be one discovered by a different session,
+// so bit-exact reproducibility across schedules is no longer guaranteed.
+// The experiment harness therefore defaults to private caches and offers
+// sharing as an opt-in throughput knob (-sharedcache).
+type QueryCache struct {
+	shards [cacheShardCount]cacheShard
+
+	// perShardCap bounds the number of entries per shard; inserting beyond
+	// it evicts the shard's oldest entry (FIFO).
+	perShardCap int
+
+	queries   atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	stores    atomic.Int64
+	evictions atomic.Int64
+}
+
+const (
+	cacheShardCount = 16
+
+	// DefaultCacheCapacity is the default total entry bound of a QueryCache.
+	DefaultCacheCapacity = 1 << 16
+)
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[uint64][]cachedQuery
+	// order records insertion order of bucket keys, one element per stored
+	// entry, for exact FIFO eviction.
+	order []uint64
+}
+
+// CacheStats is a snapshot of the cache counters. By construction
+// Hits + Misses == Queries at any quiescent point.
+type CacheStats struct {
+	Queries   int64
+	Hits      int64
+	Misses    int64
+	Stores    int64
+	Evictions int64
+	Entries   int64
+}
+
+// NewQueryCache builds a cache bounded to roughly capacity entries
+// (0 means DefaultCacheCapacity).
+func NewQueryCache(capacity int) *QueryCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	per := capacity / cacheShardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &QueryCache{perShardCap: per}
+	for i := range c.shards {
+		c.shards[i].m = map[uint64][]cachedQuery{}
+	}
+	return c
+}
+
+func (c *QueryCache) shard(key uint64) *cacheShard {
+	// The key is already a mixed hash; fold the high bits so shard selection
+	// does not correlate with bucket selection.
+	return &c.shards[(key^key>>32)%cacheShardCount]
+}
+
+// Lookup returns the memoized result for the query, if present. The returned
+// model is owned by the cache and must not be mutated; callers clone before
+// merging (as Solver.Check does).
+func (c *QueryCache) Lookup(key uint64, constraints []*symexpr.Expr) (Result, symexpr.Assignment, bool) {
+	c.queries.Add(1)
+	sh := c.shard(key)
+	sh.mu.Lock()
+	for _, q := range sh.m[key] {
+		if sameQuery(q.key, constraints) {
+			r, m := q.result, q.model
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return r, m, true
+		}
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	return Unknown, nil, false
+}
+
+// Store memoizes a query result. The constraint slice and model are cloned so
+// later mutation by the caller cannot corrupt the cache.
+func (c *QueryCache) Store(key uint64, constraints []*symexpr.Expr, r Result, m symexpr.Assignment) {
+	cs := append([]*symexpr.Expr(nil), constraints...)
+	var mc symexpr.Assignment
+	if m != nil {
+		mc = m.Clone()
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	// Double-insert check: another session may have stored the same query
+	// between our miss and this store. Keeping the first entry makes the
+	// cache contents insertion-order independent at the entry level.
+	for _, q := range sh.m[key] {
+		if sameQuery(q.key, constraints) {
+			sh.mu.Unlock()
+			return
+		}
+	}
+	sh.m[key] = append(sh.m[key], cachedQuery{cs, r, mc})
+	sh.order = append(sh.order, key)
+	evicted := false
+	if len(sh.order) > c.perShardCap {
+		old := sh.order[0]
+		sh.order = sh.order[1:]
+		if bucket := sh.m[old]; len(bucket) > 0 {
+			if len(bucket) == 1 {
+				delete(sh.m, old)
+			} else {
+				sh.m[old] = bucket[1:]
+			}
+			evicted = true
+		}
+	}
+	sh.mu.Unlock()
+	c.stores.Add(1)
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *QueryCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.order)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters.
+func (c *QueryCache) Stats() CacheStats {
+	return CacheStats{
+		Queries:   c.queries.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stores:    c.stores.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int64(c.Len()),
+	}
+}

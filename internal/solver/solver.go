@@ -38,6 +38,11 @@ type Options struct {
 	DisableCache bool
 	// PropBudget caps SAT propagations per query; 0 means the default cap.
 	PropBudget int64
+	// Cache, when non-nil, is used as the counterexample cache instead of a
+	// fresh private one, enabling cross-session (and cross-goroutine) hit
+	// reuse. See the QueryCache determinism note before sharing one between
+	// concurrent sessions.
+	Cache *QueryCache
 }
 
 const defaultPropBudget = 4_000_000
@@ -50,17 +55,19 @@ type Stats struct {
 	UnsatQueries int64
 	Unknowns     int64
 	CacheHits    int64
+	CacheMisses  int64
 	Propagations int64
 	Conflicts    int64
 	ClausesAdded int64
 }
 
 // Solver decides conjunctions of width-1 bit-vector expressions.
-// A Solver is not safe for concurrent use.
+// A Solver is not safe for concurrent use; concurrency happens one solver per
+// session, optionally sharing a thread-safe QueryCache (Options.Cache).
 type Solver struct {
 	opts  Options
 	stats Stats
-	cache map[uint64][]cachedQuery
+	cache *QueryCache // nil iff DisableCache and no shared cache given
 }
 
 type cachedQuery struct {
@@ -74,11 +81,22 @@ func New(opts Options) *Solver {
 	if opts.PropBudget == 0 {
 		opts.PropBudget = defaultPropBudget
 	}
-	return &Solver{opts: opts, cache: map[uint64][]cachedQuery{}}
+	s := &Solver{opts: opts}
+	switch {
+	case opts.Cache != nil:
+		s.cache = opts.Cache
+	case !opts.DisableCache:
+		s.cache = NewQueryCache(0)
+	}
+	return s
 }
 
 // Stats returns a copy of the accumulated counters.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// Cache returns the solver's counterexample cache (nil when caching is
+// disabled). It may be a cache shared with other solvers.
+func (s *Solver) Cache() *QueryCache { return s.cache }
 
 // Check decides whether the conjunction pc is satisfiable. base supplies
 // concrete values for input variables from the parent path; slicing uses it
@@ -117,8 +135,8 @@ func (s *Solver) Check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 	}
 
 	key := queryKey(toSolve)
-	if !s.opts.DisableCache {
-		if r, m, ok := s.cacheLookup(key, toSolve); ok {
+	if s.cache != nil {
+		if r, m, ok := s.cache.Lookup(key, toSolve); ok {
 			s.stats.CacheHits++
 			if r == Sat {
 				// Clone: merge must never mutate the cached model.
@@ -126,11 +144,12 @@ func (s *Solver) Check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 			}
 			return r, nil
 		}
+		s.stats.CacheMisses++
 	}
 
 	res, model := s.solveCNF(toSolve)
-	if !s.opts.DisableCache && res != Unknown {
-		s.cacheStore(key, toSolve, res, model)
+	if s.cache != nil && res != Unknown {
+		s.cache.Store(key, toSolve, res, model)
 	}
 	switch res {
 	case Sat:
@@ -271,24 +290,6 @@ func queryKey(constraints []*symexpr.Expr) uint64 {
 		h ^= c.Hash() * 0x9e3779b97f4a7c15
 	}
 	return h
-}
-
-func (s *Solver) cacheLookup(key uint64, constraints []*symexpr.Expr) (Result, symexpr.Assignment, bool) {
-	for _, q := range s.cache[key] {
-		if sameQuery(q.key, constraints) {
-			return q.result, q.model, true
-		}
-	}
-	return Unknown, nil, false
-}
-
-func (s *Solver) cacheStore(key uint64, constraints []*symexpr.Expr, r Result, m symexpr.Assignment) {
-	cs := append([]*symexpr.Expr(nil), constraints...)
-	var mc symexpr.Assignment
-	if m != nil {
-		mc = m.Clone()
-	}
-	s.cache[key] = append(s.cache[key], cachedQuery{cs, r, mc})
 }
 
 func sameQuery(a, b []*symexpr.Expr) bool {

@@ -1,0 +1,53 @@
+package symtest
+
+import (
+	"sync"
+
+	"chef/internal/minilua"
+	"chef/internal/minipy"
+)
+
+// Interned compile caches. A session compiles its target before exploring;
+// under the parallel harness many sessions (one per configuration and
+// repetition) target the same source, so compilation is interned process-wide
+// by source text. Compiled Programs are immutable after compilation — the VM
+// only reads Instrs and Consts, and class construction copies spec constants
+// into fresh per-VM maps — which makes a shared *Program safe for any number
+// of concurrent sessions (validated by the -race determinism suite).
+//
+// sync.Map gives lock-free hits on the hot path; a concurrent first-miss may
+// compile twice, but LoadOrStore keeps a single canonical Program, so every
+// session in the process observes identical bytecode (and therefore
+// identical HLPCs) regardless of scheduling.
+var (
+	pyPrograms  sync.Map // source string -> *minipy.Program
+	luaPrograms sync.Map // source string -> *minilua.Program
+)
+
+// InternedPyProgram compiles src once per process and returns the shared
+// immutable Program.
+func InternedPyProgram(src string) (*minipy.Program, error) {
+	if p, ok := pyPrograms.Load(src); ok {
+		return p.(*minipy.Program), nil
+	}
+	p, err := minipy.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := pyPrograms.LoadOrStore(src, p)
+	return actual.(*minipy.Program), nil
+}
+
+// InternedLuaProgram compiles src once per process and returns the shared
+// immutable Program.
+func InternedLuaProgram(src string) (*minilua.Program, error) {
+	if p, ok := luaPrograms.Load(src); ok {
+		return p.(*minilua.Program), nil
+	}
+	p, err := minilua.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := luaPrograms.LoadOrStore(src, p)
+	return actual.(*minilua.Program), nil
+}

@@ -18,12 +18,14 @@ type LuaTest struct {
 	prog *minilua.Program
 }
 
-// Compile parses and compiles the target source once.
+// Compile parses and compiles the target source once per process: compiled
+// programs are interned by source text and shared read-only across sessions
+// (see intern.go).
 func (t *LuaTest) Compile() error {
 	if t.prog != nil {
 		return nil
 	}
-	p, err := minilua.Compile(t.Source)
+	p, err := InternedLuaProgram(t.Source)
 	if err != nil {
 		return err
 	}

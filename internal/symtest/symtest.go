@@ -65,12 +65,14 @@ type PyTest struct {
 	prog *minipy.Program
 }
 
-// Compile parses and compiles the target source once.
+// Compile parses and compiles the target source once per process: compiled
+// programs are interned by source text and shared read-only across sessions
+// (see intern.go).
 func (t *PyTest) Compile() error {
 	if t.prog != nil {
 		return nil
 	}
-	p, err := minipy.Compile(t.Source)
+	p, err := InternedPyProgram(t.Source)
 	if err != nil {
 		return err
 	}

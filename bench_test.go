@@ -13,6 +13,7 @@ package chefbench
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"runtime"
@@ -25,6 +26,7 @@ import (
 	"chef/internal/experiments"
 	"chef/internal/lowlevel"
 	"chef/internal/minipy"
+	"chef/internal/obs"
 	"chef/internal/packages"
 	"chef/internal/solver"
 	"chef/internal/symexpr"
@@ -511,4 +513,49 @@ func BenchmarkAblationPortfolio(b *testing.B) {
 	}
 	b.ReportMetric(float64(single), "tests-single-build")
 	b.ReportMetric(float64(portfolio), "tests-portfolio")
+}
+
+// --- Observability overhead ------------------------------------------------
+
+// benchExplore runs one fixed exploration session with the given sinks; the
+// workload is identical across the observability sub-benches so their ns/op
+// are directly comparable.
+func benchExplore(b *testing.B, reg *obs.Registry, tr obs.Tracer) {
+	p, _ := packages.ByName("simplejson")
+	prog := p.PyTest(minipy.Optimized).Program()
+	bud := benchBudgets()
+	b.ResetTimer()
+	var tests int
+	for i := 0; i < b.N; i++ {
+		s := chef.NewSession(prog, chef.Options{
+			Strategy: chef.StrategyCUPAPath, Seed: 1, StepLimit: bud.StepLimit,
+			Metrics: reg, Tracer: tr,
+		})
+		tests = len(s.Run(bud.Time))
+	}
+	b.ReportMetric(float64(tests), "tests")
+}
+
+// BenchmarkTracingOverhead quantifies the cost of the observability layer on
+// a fixed exploration workload: disabled (the nil-check hot path, the cost
+// every production run pays), metrics-only (atomic counters + histograms),
+// and full JSONL tracing to a discarded writer. The disabled case is the one
+// the <5% overhead budget of the design applies to.
+func BenchmarkTracingOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		benchExplore(b, nil, nil)
+	})
+	b.Run("metrics", func(b *testing.B) {
+		benchExplore(b, obs.NewRegistry(), nil)
+	})
+	b.Run("trace-jsonl", func(b *testing.B) {
+		tr := obs.NewJSONL(io.Discard)
+		tr.DisableWallClock()
+		benchExplore(b, nil, tr)
+	})
+	b.Run("metrics+trace", func(b *testing.B) {
+		tr := obs.NewJSONL(io.Discard)
+		tr.DisableWallClock()
+		benchExplore(b, obs.NewRegistry(), tr)
+	})
 }

@@ -18,6 +18,7 @@ import (
 	"chef/internal/dedicated"
 	"chef/internal/experiments"
 	"chef/internal/minipy"
+	"chef/internal/obscli"
 	"chef/internal/packages"
 	"chef/internal/solver"
 	"chef/internal/symexpr"
@@ -35,8 +36,17 @@ func main() {
 		shared   = flag.Bool("sharedcache", false, "share one counterexample cache across all sessions (throughput knob; models may then depend on scheduling)")
 		stats    = flag.Bool("stats", false, "print harness statistics (sessions, solver queries, cache hits/misses) after each experiment")
 	)
+	var obsFlags obscli.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
-	b := experiments.Budgets{Time: *budget, StepLimit: *stepCap, Reps: *reps, Seed: *seed, Parallel: *parallel}
+	if err := obsFlags.Start("chef-experiments"); err != nil {
+		fmt.Fprintf(os.Stderr, "chef-experiments: %v\n", err)
+		os.Exit(1)
+	}
+	b := experiments.Budgets{
+		Time: *budget, StepLimit: *stepCap, Reps: *reps, Seed: *seed, Parallel: *parallel,
+		Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer(),
+	}
 	if *shared {
 		b.Cache = solver.NewQueryCache(0)
 	}
@@ -77,6 +87,17 @@ func main() {
 	}
 	order := []string{"table2", "table3", "table4", "fig8", "fig9", "fig10", "fig11", "fig12", "nicebug", "portfolio", "crosscheck"}
 
+	finishObs := func() {
+		if b.Cache != nil {
+			cs := b.Cache.Stats()
+			obsFlags.SetCacheGauges(cs.Entries, cs.Evictions)
+		}
+		if err := obsFlags.Finish(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "chef-experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	name := strings.ToLower(*which)
 	if name == "all" {
 		for _, k := range order {
@@ -84,6 +105,7 @@ func main() {
 			run[k]()
 			printStats()
 		}
+		finishObs()
 		return
 	}
 	f, ok := run[name]
@@ -93,6 +115,7 @@ func main() {
 	}
 	f()
 	printStats()
+	finishObs()
 }
 
 // nicebug reproduces the §6.6 reference-implementation experiment: the
@@ -145,7 +168,10 @@ func portfolio(b experiments.Budgets) {
 	for _, m := range members {
 		ms = append(ms, chefPkg.PortfolioMember{Name: m.name, Prog: m.prog})
 	}
-	opts := chefPkg.Options{Strategy: chefPkg.StrategyCUPAPath, Seed: b.Seed, StepLimit: b.StepLimit, Parallel: b.Parallel}
+	opts := chefPkg.Options{
+		Strategy: chefPkg.StrategyCUPAPath, Seed: b.Seed, StepLimit: b.StepLimit, Parallel: b.Parallel,
+		Metrics: b.Metrics, Tracer: b.Tracer,
+	}
 	res := chefPkg.RunPortfolio(ms, opts, b.Time)
 	fmt.Printf("Portfolio over %d interpreter builds of xlrd (total budget %d):\n", len(ms), b.Time)
 	for i, m := range ms {

@@ -5,11 +5,14 @@
 // Usage:
 //
 //	chef-replay -in tests.ndjson
+//	chef-replay -in tests.ndjson -summary   # one-line JSON execution profile
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"chef/internal/minilua"
@@ -18,10 +21,38 @@ import (
 	"chef/internal/symtest"
 )
 
+// summary is the -summary output: one JSON line aggregating the replay. A
+// concrete replay never consults the constraint solver, so SolverQueries is
+// always 0 — the field exists so replay lines and traced-exploration metrics
+// share a schema.
+type summary struct {
+	Package       string `json:"package"`
+	Tests         int    `json:"tests"`
+	Confirmed     int    `json:"confirmed"`
+	Mismatched    int    `json:"mismatched"`
+	HLTraceLen    int64  `json:"hlpc_trace_len"`
+	LLBranches    int64  `json:"ll_branches"`
+	Steps         int64  `json:"steps"`
+	SolverQueries int64  `json:"solver_queries"`
+	CoveredLines  int    `json:"covered_lines"`
+	Coverable     int    `json:"coverable_lines"`
+}
+
+// writeSummary renders the one-line JSON summary.
+func writeSummary(w io.Writer, s summary) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
 func main() {
 	var (
 		in      = flag.String("in", "", "NDJSON test file written by cmd/chef")
 		stepCap = flag.Int64("steplimit", 60_000, "per-run hang threshold")
+		summ    = flag.Bool("summary", false, "print a one-line JSON summary (HLPC trace length, LL branches, coverage) instead of the text report")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -42,6 +73,7 @@ func main() {
 	confirmed, mismatched := 0, 0
 	var pkgName string
 	var coverable int
+	var hlLen, llBranches, steps int64
 	for _, tc := range tests {
 		p, ok := packages.ByName(tc.Package)
 		if !ok {
@@ -64,6 +96,9 @@ func main() {
 		for l := range rep.Lines {
 			covered[l] = true
 		}
+		hlLen += int64(rep.HLLen)
+		llBranches += rep.LLBranches
+		steps += rep.Steps
 		match := rep.Result == tc.Result
 		// Hang statuses compare through the recorded engine status.
 		if tc.Status == "hang" && rep.Result == "hang" {
@@ -73,15 +108,33 @@ func main() {
 			confirmed++
 		} else {
 			mismatched++
-			fmt.Printf("MISMATCH: recorded %q, replayed %q (%s)\n", tc.Result, rep.Result,
+			// With -summary, stdout carries exactly one JSON line; diagnostics
+			// go to stderr.
+			w := os.Stdout
+			if *summ {
+				w = os.Stderr
+			}
+			fmt.Fprintf(w, "MISMATCH: recorded %q, replayed %q (%s)\n", tc.Result, rep.Result,
 				symtest.InputString(input, p.Inputs))
 		}
 	}
-	fmt.Printf("replayed %d tests for %s: %d confirmed, %d mismatched\n",
-		len(tests), pkgName, confirmed, mismatched)
-	if coverable > 0 {
-		fmt.Printf("line coverage: %d/%d lines (%.1f%%)\n",
-			len(covered), coverable, 100*float64(len(covered))/float64(coverable))
+	if *summ {
+		err := writeSummary(os.Stdout, summary{
+			Package: pkgName, Tests: len(tests), Confirmed: confirmed, Mismatched: mismatched,
+			HLTraceLen: hlLen, LLBranches: llBranches, Steps: steps,
+			CoveredLines: len(covered), Coverable: coverable,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chef-replay: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("replayed %d tests for %s: %d confirmed, %d mismatched\n",
+			len(tests), pkgName, confirmed, mismatched)
+		if coverable > 0 {
+			fmt.Printf("line coverage: %d/%d lines (%.1f%%)\n",
+				len(covered), coverable, 100*float64(len(covered))/float64(coverable))
+		}
 	}
 	if mismatched > 0 {
 		os.Exit(1)

@@ -1,0 +1,290 @@
+// Command chef-trace analyzes JSONL exploration traces produced by
+// cmd/chef -trace (and cmd/chef-experiments -trace). It renders the offline
+// counterparts of the paper's exploration diagnostics:
+//
+//   - fork hot spots: the top-K low-level PCs by registered alternate states,
+//     the interpreter-internals bias CUPA exists to correct (§3.2);
+//   - the high-level path discovery timeline, the raw series behind Fig. 8;
+//   - the solver latency histogram (virtual cost and wall clock per query)
+//     with cache hit rates;
+//   - per-session summaries.
+//
+// Usage:
+//
+//	chef -package simplejson -trace trace.jsonl && chef-trace -in trace.jsonl
+//	chef-trace -in trace.jsonl -section forks -top 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"chef/internal/obs"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "-", "trace file to read (- for stdin)")
+		topK    = flag.Int("top", 10, "number of entries in top-K tables")
+		section = flag.String("section", "all", "all | forks | timeline | solver | sessions")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" && *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chef-trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.ParseJSONL(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chef-trace: parse: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := Render(events, *section, *topK)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chef-trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+// Render produces the requested report section(s) for a parsed trace.
+func Render(events []obs.Event, section string, topK int) (string, error) {
+	var b strings.Builder
+	switch section {
+	case "all":
+		b.WriteString(renderForks(events, topK))
+		b.WriteString(renderTimeline(events))
+		b.WriteString(renderSolver(events))
+		b.WriteString(renderSessions(events))
+	case "forks":
+		b.WriteString(renderForks(events, topK))
+	case "timeline":
+		b.WriteString(renderTimeline(events))
+	case "solver":
+		b.WriteString(renderSolver(events))
+	case "sessions":
+		b.WriteString(renderSessions(events))
+	default:
+		return "", fmt.Errorf("unknown section %q", section)
+	}
+	return b.String(), nil
+}
+
+// forkSite aggregates ll-fork events at one low-level PC.
+type forkSite struct {
+	llpc      uint64
+	forks     int64
+	decisions map[string]int64
+}
+
+// renderForks prints the top-K fork hot spots by LLPC. These are the
+// interpreter-internal branch sites (string routines, hash functions, type
+// dispatch) whose fork explosion motivates CUPA.
+func renderForks(events []obs.Event, topK int) string {
+	sites := map[uint64]*forkSite{}
+	var total int64
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != obs.KindLLFork {
+			continue
+		}
+		s := sites[ev.LLPC]
+		if s == nil {
+			s = &forkSite{llpc: ev.LLPC, decisions: map[string]int64{}}
+			sites[ev.LLPC] = s
+		}
+		s.forks++
+		s.decisions[ev.Decision]++
+		total++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Fork hot spots (top %d LLPCs, %d forks at %d sites) ==\n", topK, total, len(sites))
+	if total == 0 {
+		b.WriteString("  no ll-fork events in trace\n\n")
+		return b.String()
+	}
+	ordered := make([]*forkSite, 0, len(sites))
+	for _, s := range sites {
+		ordered = append(ordered, s)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].forks != ordered[j].forks {
+			return ordered[i].forks > ordered[j].forks
+		}
+		return ordered[i].llpc < ordered[j].llpc
+	})
+	if len(ordered) > topK {
+		ordered = ordered[:topK]
+	}
+	fmt.Fprintf(&b, "  %-4s %-12s %8s %7s  %s\n", "rank", "llpc", "forks", "share", "decisions")
+	for i, s := range ordered {
+		fmt.Fprintf(&b, "  %-4d 0x%-10x %8d %6.1f%%  %s\n",
+			i+1, s.llpc, s.forks, 100*float64(s.forks)/float64(total), decisionString(s.decisions))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func decisionString(m map[string]int64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// renderTimeline prints the high-level path discovery timeline: one line per
+// testcase event in virtual-time order, with the cumulative distinct-path
+// count — the raw series behind the paper's Fig. 8 curves.
+func renderTimeline(events []obs.Event) string {
+	var cases []obs.Event
+	for i := range events {
+		if events[i].Kind == obs.KindTestCase {
+			cases = append(cases, events[i])
+		}
+	}
+	sort.SliceStable(cases, func(i, j int) bool { return cases[i].T < cases[j].T })
+	var b strings.Builder
+	fmt.Fprintf(&b, "== HL path discovery timeline (%d test cases) ==\n", len(cases))
+	if len(cases) == 0 {
+		b.WriteString("  no testcase events in trace\n\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %-12s %-6s %-8s %-18s %-12s %s\n", "virt-time", "#", "hl-len", "sig", "status", "session")
+	for i, ev := range cases {
+		fmt.Fprintf(&b, "  %-12d %-6d %-8d %-18s %-12s %s\n", ev.T, i+1, ev.HLLen, ev.Sig, ev.Status, ev.Session)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// renderSolver prints aggregate solver behavior: result mix, cache hit rate,
+// and latency histograms over both the virtual cost (propagations, what the
+// engine's clock charges) and the wall clock (what the host actually paid).
+func renderSolver(events []obs.Event) string {
+	var queries, hits int64
+	results := map[string]int64{}
+	var virt, wall obs.Histogram
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != obs.KindSolverQuery {
+			continue
+		}
+		queries++
+		if ev.CacheHit {
+			hits++
+		}
+		results[ev.Result]++
+		virt.Observe(ev.VirtCost)
+		wall.Observe(ev.WallCost)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Solver latency (%d queries) ==\n", queries)
+	if queries == 0 {
+		b.WriteString("  no solver-query events in trace\n\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  results: %s\n", decisionString(results))
+	fmt.Fprintf(&b, "  cache:   %d/%d hits (%.1f%%)\n", hits, queries, 100*float64(hits)/float64(queries))
+	writeHist(&b, "virtual cost (propagations)", &virt)
+	writeHist(&b, "wall clock (ns)", &wall)
+	b.WriteString("\n")
+	return b.String()
+}
+
+func writeHist(b *strings.Builder, label string, h *obs.Histogram) {
+	mean := 0.0
+	if h.Count() > 0 {
+		mean = float64(h.Sum()) / float64(h.Count())
+	}
+	fmt.Fprintf(b, "  %s: count=%d mean=%.1f max=%d\n", label, h.Count(), mean, h.Max())
+	for i := 0; i < obs.HistBuckets; i++ {
+		n := h.Bucket(i)
+		if n == 0 {
+			continue
+		}
+		lo, hi := obs.BucketBounds(i)
+		width := int(40 * n / h.Count())
+		if width == 0 {
+			width = 1
+		}
+		fmt.Fprintf(b, "    [%12d, %12d]  %-7d %s\n", lo, hi, n, strings.Repeat("#", width))
+	}
+}
+
+// sessionAgg aggregates one session's events.
+type sessionAgg struct {
+	name    string
+	order   int
+	seed    int64
+	strat   string
+	forks   int64
+	runs    int64
+	queries int64
+	tests   int
+	hlPaths int
+	llPaths int64
+	endT    int64
+}
+
+// renderSessions prints one summary line per traced session.
+func renderSessions(events []obs.Event) string {
+	aggs := map[string]*sessionAgg{}
+	get := func(name string) *sessionAgg {
+		a := aggs[name]
+		if a == nil {
+			a = &sessionAgg{name: name, order: len(aggs)}
+			aggs[name] = a
+		}
+		return a
+	}
+	for i := range events {
+		ev := &events[i]
+		a := get(ev.Session)
+		switch ev.Kind {
+		case obs.KindSessionStart:
+			a.seed, a.strat = ev.Seed, ev.Strategy
+		case obs.KindSessionEnd:
+			a.tests, a.hlPaths, a.llPaths, a.endT = ev.Tests, ev.HLPaths, ev.LLPaths, ev.T
+		case obs.KindLLFork:
+			a.forks++
+		case obs.KindRunEnd:
+			a.runs++
+		case obs.KindSolverQuery:
+			a.queries++
+		}
+	}
+	ordered := make([]*sessionAgg, 0, len(aggs))
+	for _, a := range aggs {
+		ordered = append(ordered, a)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Sessions (%d) ==\n", len(ordered))
+	fmt.Fprintf(&b, "  %-36s %-16s %6s %6s %8s %6s %8s %8s %12s\n",
+		"session", "strategy", "tests", "hl", "ll", "runs", "forks", "queries", "end-virt")
+	for _, a := range ordered {
+		name := a.name
+		if name == "" {
+			name = "(unnamed)"
+		}
+		fmt.Fprintf(&b, "  %-36s %-16s %6d %6d %8d %6d %8d %8d %12d\n",
+			name, a.strat, a.tests, a.hlPaths, a.llPaths, a.runs, a.forks, a.queries, a.endT)
+	}
+	return b.String()
+}

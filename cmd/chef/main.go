@@ -6,6 +6,10 @@
 // Usage:
 //
 //	chef -package simplejson -strategy cupa-path -budget 3000000 -out tests.ndjson
+//
+// Observability: -trace writes structured JSONL exploration events (consumed
+// by cmd/chef-trace), -metrics prints a counter/histogram dump at exit,
+// -httpobs serves expvar+pprof. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"chef/internal/chef"
 	"chef/internal/minilua"
 	"chef/internal/minipy"
+	"chef/internal/obscli"
 	"chef/internal/packages"
 	"chef/internal/symtest"
 )
@@ -31,6 +36,8 @@ func main() {
 		vanilla  = flag.Bool("vanilla", false, "use the unoptimized interpreter build")
 		out      = flag.String("out", "", "write generated tests as NDJSON to this file")
 	)
+	var obsFlags obscli.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -49,8 +56,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chef: unknown strategy %q\n", *strategy)
 		os.Exit(1)
 	}
+	if err := obsFlags.Start("chef"); err != nil {
+		fmt.Fprintf(os.Stderr, "chef: %v\n", err)
+		os.Exit(1)
+	}
 
-	opts := chef.Options{Strategy: strat, Seed: *seed, StepLimit: *stepCap}
+	opts := chef.Options{
+		Strategy:  strat,
+		Seed:      *seed,
+		StepLimit: *stepCap,
+		Metrics:   obsFlags.Registry(),
+		Tracer:    obsFlags.Tracer(),
+		Name:      fmt.Sprintf("%s/%s/%d", *pkgName, *strategy, *seed),
+	}
 	var prog chef.TestProgram
 	pyCfg, luaCfg := minipy.Optimized, minilua.Optimized
 	if *vanilla {
@@ -92,6 +110,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %d tests to %s\n", len(serialized), *out)
+	}
+
+	cs := session.Engine().Solver().Cache().Stats()
+	obsFlags.SetCacheGauges(cs.Entries, cs.Evictions)
+	if err := obsFlags.Finish(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "chef: %v\n", err)
+		os.Exit(1)
 	}
 }
 

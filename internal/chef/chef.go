@@ -18,6 +18,7 @@ import (
 
 	"chef/internal/cupa"
 	"chef/internal/lowlevel"
+	"chef/internal/obs"
 	"chef/internal/solver"
 	"chef/internal/symexpr"
 )
@@ -81,6 +82,21 @@ type Options struct {
 	// RunPortfolio; 0 means runtime.GOMAXPROCS(0), 1 forces serial
 	// execution. A single Session is always confined to one goroutine.
 	Parallel int
+	// Metrics, when non-nil, receives the session's counters, gauges and
+	// latency histograms (see internal/obs for the metric names). Sharing one
+	// registry across sessions is safe (all cells are atomics); multi-session
+	// drivers instead give each session a child registry and aggregate with
+	// Registry.Merge.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives structured JSONL exploration events from
+	// every layer (session lifecycle, forks, solver queries, CUPA picks,
+	// test-case emissions). With a nil tracer the hot path pays a single
+	// nil-check per site. Observation-only: a traced run's engine output is
+	// byte-identical to an untraced one.
+	Tracer obs.Tracer
+	// Name labels this session's trace events (multi-session drivers set it
+	// to the member/cell name).
+	Name string
 }
 
 // TestCase is one generated high-level test case: a concrete input
@@ -120,6 +136,13 @@ type Session struct {
 	series  []SamplePoint
 
 	cur *Ctx // context of the run in progress
+
+	// Observability (nil when disabled).
+	tracer   obs.Tracer
+	metrics  *obs.Registry
+	mLogPC   *obs.Counter
+	mTests   *obs.Counter
+	mHLPaths *obs.Counter
 }
 
 type hlEdge struct {
@@ -136,36 +159,43 @@ func NewSession(prog TestProgram, opts Options) *Session {
 		hlNodes: map[hlEdge]uint64{},
 		cfg:     NewCFG(),
 		hlPaths: map[uint64]bool{},
+		tracer:  obs.WithSession(opts.Tracer, opts.Name),
+		metrics: opts.Metrics,
+	}
+	if s.metrics != nil {
+		s.mLogPC = s.metrics.Counter(obs.MChefLogPC)
+		s.mTests = s.metrics.Counter(obs.MChefTests)
+		s.mHLPaths = s.metrics.Counter(obs.MChefHLPaths)
 	}
 	var strat lowlevel.Strategy
 	if opts.StrategyFactory != nil {
 		strat = opts.StrategyFactory(s.rng, s.cfg)
-		s.eng = lowlevel.NewEngine(s.runOnce, strat, lowlevel.Options{
-			StepLimit:       opts.StepLimit,
-			Seed:            opts.Seed,
-			SolverOptions:   opts.SolverOptions,
-			ForkWeightDecay: opts.ForkWeightDecay,
-		})
-		return s
-	}
-	switch opts.Strategy {
-	case StrategyCUPAPath:
-		strat = cupa.NewPathOptimized(s.rng)
-	case StrategyCUPACoverage:
-		strat = cupa.NewCoverageOptimized(s.rng, s.cfg.Distance)
-	case StrategyDFS:
-		strat = lowlevel.NewDFSStrategy()
-	case StrategyBFS:
-		strat = lowlevel.NewBFSStrategy()
-	default:
-		strat = lowlevel.NewRandomStrategy(s.rng)
+	} else {
+		switch opts.Strategy {
+		case StrategyCUPAPath:
+			strat = cupa.NewPathOptimized(s.rng)
+		case StrategyCUPACoverage:
+			strat = cupa.NewCoverageOptimized(s.rng, s.cfg.Distance)
+		case StrategyDFS:
+			strat = lowlevel.NewDFSStrategy()
+		case StrategyBFS:
+			strat = lowlevel.NewBFSStrategy()
+		default:
+			strat = lowlevel.NewRandomStrategy(s.rng)
+		}
 	}
 	s.eng = lowlevel.NewEngine(s.runOnce, strat, lowlevel.Options{
 		StepLimit:       opts.StepLimit,
 		Seed:            opts.Seed,
 		SolverOptions:   opts.SolverOptions,
 		ForkWeightDecay: opts.ForkWeightDecay,
+		Metrics:         opts.Metrics,
+		Tracer:          s.tracer,
 	})
+	// CUPA-based strategies additionally report per-class selection counts.
+	if cs, ok := strat.(*cupa.Strategy); ok && (s.metrics != nil || s.tracer != nil) {
+		cs.Instrument(s.metrics, s.tracer, s.eng.Clock)
+	}
 	return s
 }
 
@@ -179,6 +209,13 @@ func (s *Session) runOnce(m *lowlevel.Machine) {
 // Run explores until the virtual-time budget is exhausted or the state queue
 // drains, and returns the generated test cases.
 func (s *Session) Run(budget int64) []TestCase {
+	if s.tracer != nil {
+		s.tracer.Emit(&obs.Event{
+			Kind:     obs.KindSessionStart,
+			Seed:     s.opts.Seed,
+			Strategy: s.opts.Strategy.String(),
+		})
+	}
 	info := s.eng.RunInitial()
 	s.finishRun(info)
 	for s.eng.Clock() < budget {
@@ -189,6 +226,16 @@ func (s *Session) Run(budget int64) []TestCase {
 		if info != nil {
 			s.finishRun(info)
 		}
+	}
+	if s.tracer != nil {
+		st := s.eng.Stats()
+		s.tracer.Emit(&obs.Event{
+			T:       s.eng.Clock(),
+			Kind:    obs.KindSessionEnd,
+			Tests:   len(s.tests),
+			HLPaths: len(s.hlPaths),
+			LLPaths: st.LLPaths,
+		})
 	}
 	return s.tests
 }
@@ -210,6 +257,21 @@ func (s *Session) finishRun(info *lowlevel.RunInfo) {
 			Result:   ctx.result,
 			VirtTime: s.eng.Clock(),
 		})
+		if s.mTests != nil {
+			s.mTests.Inc()
+			s.mHLPaths.Inc()
+		}
+		if s.tracer != nil {
+			s.tracer.Emit(&obs.Event{
+				T:      s.eng.Clock(),
+				Kind:   obs.KindTestCase,
+				HLLen:  ctx.hlLen,
+				Sig:    fmt.Sprintf("%016x", ctx.hlSig),
+				Status: info.Status.String(),
+				Result: ctx.result,
+				Tests:  len(s.tests),
+			})
+		}
 	}
 	s.sample()
 }
@@ -272,13 +334,27 @@ func (c *Ctx) LogPC(pc HLPC, opcode uint32) {
 	c.M.StaticHLPC = pc
 	c.M.Opcode = opcode
 	if c.started {
-		c.s.cfg.AddEdge(c.prevHLPC, pc)
+		// Trace HLPC transitions at first observation only: the deduplicated
+		// stream is the discovered high-level CFG in discovery order, keeping
+		// traces bounded by CFG size rather than execution length.
+		if c.s.cfg.AddEdge(c.prevHLPC, pc) && c.s.tracer != nil {
+			c.s.tracer.Emit(&obs.Event{
+				T:      c.s.eng.Clock() + c.M.Steps(),
+				Kind:   obs.KindHLEdge,
+				From:   c.prevHLPC,
+				HLPC:   pc,
+				Opcode: opcode,
+			})
+		}
 	}
 	c.s.cfg.SetOpcode(pc, opcode)
 	c.prevHLPC = pc
 	c.started = true
 	c.hlSig = c.hlSig*0x100000001b3 ^ pc
 	c.hlLen++
+	if c.s.mLogPC != nil {
+		c.s.mLogPC.Inc()
+	}
 }
 
 // GetString implements the make_symbolic path of the symbolic test library's
@@ -353,8 +429,9 @@ func NewCFG() *CFG {
 	}
 }
 
-// AddEdge records an observed transition between high-level locations.
-func (g *CFG) AddEdge(from, to HLPC) {
+// AddEdge records an observed transition between high-level locations and
+// reports whether the edge was new (first observation).
+func (g *CFG) AddEdge(from, to HLPC) bool {
 	m := g.succs[from]
 	if m == nil {
 		m = map[HLPC]bool{}
@@ -369,7 +446,9 @@ func (g *CFG) AddEdge(from, to HLPC) {
 		}
 		p[from] = true
 		g.dirty = true
+		return true
 	}
+	return false
 }
 
 // SetOpcode records the opcode of a high-level location.
@@ -487,7 +566,10 @@ func (g *CFG) String() string {
 	return fmt.Sprintf("cfg{nodes: %d, edges: %d, frontier: %d}", g.Nodes(), g.Edges(), len(g.PotentialBranchPoints()))
 }
 
-// Summary condenses a finished session for reporting.
+// Summary condenses a finished session for reporting. Session.Summary
+// returns it by value — a point-in-time snapshot; call again for fresh
+// numbers. Aggregators (the portfolio runner, the experiment harness)
+// combine per-session summaries with Add instead of summing fields by hand.
 type Summary struct {
 	HLTests     int
 	HLPaths     int
@@ -502,7 +584,26 @@ type Summary struct {
 	VirtTime    int64
 }
 
-// Summary returns the session's headline numbers.
+// Add folds another session's summary into s, field by field. CFG sizes and
+// virtual times add up (a portfolio's aggregate CFG work), path counts add
+// without cross-session deduplication — use PortfolioResult.Tests for the
+// deduplicated view.
+func (s *Summary) Add(o Summary) {
+	s.HLTests += o.HLTests
+	s.HLPaths += o.HLPaths
+	s.LLPaths += o.LLPaths
+	s.Runs += o.Runs
+	s.Hangs += o.Hangs
+	s.Forks += o.Forks
+	s.UnsatStates += o.UnsatStates
+	s.Divergences += o.Divergences
+	s.CFGNodes += o.CFGNodes
+	s.CFGEdges += o.CFGEdges
+	s.VirtTime += o.VirtTime
+}
+
+// Summary returns a value snapshot of the session's headline numbers, taken
+// at call time (it does not track later exploration).
 func (s *Session) Summary() Summary {
 	st := s.eng.Stats()
 	return Summary{

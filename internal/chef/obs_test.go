@@ -1,0 +1,141 @@
+package chef
+
+import (
+	"testing"
+
+	"chef/internal/obs"
+)
+
+// TestTracedRunMatchesUntraced is the determinism contract of the
+// observability layer: attaching a tracer and a metrics registry must not
+// change a single engine decision, so the generated tests and the session
+// summary are identical to an untraced run with the same seed.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	const budget = 400_000
+	run := func(tr obs.Tracer, reg *obs.Registry) ([]TestCase, Summary) {
+		s := NewSession(validateEmailProg(5), Options{
+			Strategy: StrategyCUPAPath, Seed: 11, Tracer: tr, Metrics: reg, Name: "det",
+		})
+		return s.Run(budget), s.Summary()
+	}
+	plainTests, plainSum := run(nil, nil)
+	var collect obs.Collect
+	reg := obs.NewRegistry()
+	tracedTests, tracedSum := run(&collect, reg)
+
+	if plainSum != tracedSum {
+		t.Errorf("summary diverged:\n plain  %+v\n traced %+v", plainSum, tracedSum)
+	}
+	if len(plainTests) != len(tracedTests) {
+		t.Fatalf("test count diverged: %d vs %d", len(plainTests), len(tracedTests))
+	}
+	for i := range plainTests {
+		if plainTests[i].Result != tracedTests[i].Result || plainTests[i].HLSig != tracedTests[i].HLSig {
+			t.Errorf("test %d diverged: %q/%x vs %q/%x", i,
+				plainTests[i].Result, plainTests[i].HLSig, tracedTests[i].Result, tracedTests[i].HLSig)
+		}
+		for v, val := range plainTests[i].Input {
+			if tracedTests[i].Input[v] != val {
+				t.Errorf("test %d input %v diverged: %d vs %d", i, v, val, tracedTests[i].Input[v])
+			}
+		}
+	}
+
+	// Events and metrics must agree with the engine's own counters.
+	if got := collect.CountKind(obs.KindTestCase); got != len(tracedTests) {
+		t.Errorf("testcase events = %d, want %d", got, len(tracedTests))
+	}
+	if got := collect.CountKind(obs.KindSessionStart); got != 1 {
+		t.Errorf("session-start events = %d, want 1", got)
+	}
+	if got := collect.CountKind(obs.KindSessionEnd); got != 1 {
+		t.Errorf("session-end events = %d, want 1", got)
+	}
+	if got, want := int64(collect.CountKind(obs.KindLLFork)), tracedSum.Forks; got != want {
+		t.Errorf("ll-fork events = %d, engine forks = %d", got, want)
+	}
+	if got, want := int64(collect.CountKind(obs.KindRunEnd)), tracedSum.Runs; got != want {
+		t.Errorf("run-end events = %d, engine runs = %d", got, want)
+	}
+	if got, want := reg.Counter(obs.MForks).Value(), tracedSum.Forks; got != want {
+		t.Errorf("metric %s = %d, engine forks = %d", obs.MForks, got, want)
+	}
+	if got, want := reg.Counter(obs.MRuns).Value(), tracedSum.Runs; got != want {
+		t.Errorf("metric %s = %d, engine runs = %d", obs.MRuns, got, want)
+	}
+	if got, want := reg.Counter(obs.MChefTests).Value(), int64(len(tracedTests)); got != want {
+		t.Errorf("metric %s = %d, want %d", obs.MChefTests, got, want)
+	}
+	// Per-LLPC fork counters must sum back to the total.
+	var vecTotal int64
+	for _, n := range reg.CounterVec(obs.MForksByLLPC).Snapshot() {
+		vecTotal += n
+	}
+	if vecTotal != tracedSum.Forks {
+		t.Errorf("per-LLPC fork counters sum to %d, engine forks = %d", vecTotal, tracedSum.Forks)
+	}
+	// Every event carries the session label.
+	for _, ev := range collect.Events() {
+		if ev.Session != "det" {
+			t.Fatalf("event %+v missing session label", ev)
+		}
+	}
+}
+
+// TestSolverQueryEventsMatchStats cross-checks solver instrumentation: query
+// events equal the solver's query counter and cache-hit flags match the
+// cache counters.
+func TestSolverQueryEventsMatchStats(t *testing.T) {
+	var collect obs.Collect
+	reg := obs.NewRegistry()
+	s := NewSession(validateEmailProg(4), Options{
+		Strategy: StrategyCUPAPath, Seed: 3, Tracer: &collect, Metrics: reg,
+	})
+	s.Run(300_000)
+	st := s.Engine().Solver().Stats()
+	if got := int64(collect.CountKind(obs.KindSolverQuery)); got != st.Queries {
+		t.Errorf("solver-query events = %d, solver queries = %d", got, st.Queries)
+	}
+	var hits int64
+	for _, ev := range collect.Events() {
+		if ev.Kind == obs.KindSolverQuery && ev.CacheHit {
+			hits++
+		}
+	}
+	if hits != st.CacheHits {
+		t.Errorf("cache-hit events = %d, solver cache hits = %d", hits, st.CacheHits)
+	}
+	if got := reg.Counter(obs.MSolverQueries).Value(); got != st.Queries {
+		t.Errorf("metric %s = %d, want %d", obs.MSolverQueries, got, st.Queries)
+	}
+	if got := reg.Histogram(obs.MSolverQueryVirt).Count(); got != st.Queries {
+		t.Errorf("virt latency histogram count = %d, want %d", got, st.Queries)
+	}
+	if got := reg.Histogram(obs.MSolverQueryWall).Count(); got != st.Queries {
+		t.Errorf("wall latency histogram count = %d, want %d", got, st.Queries)
+	}
+}
+
+// TestPortfolioAggregateMatchesMembers checks the Summary.Add-based
+// portfolio aggregation (the satellite replacing ad-hoc field sums) and the
+// member-order metric merge.
+func TestPortfolioAggregateMatchesMembers(t *testing.T) {
+	members := []PortfolioMember{
+		{Name: "m0", Prog: validateEmailProg(3)},
+		{Name: "m1", Prog: validateEmailProg(5)},
+	}
+	reg := obs.NewRegistry()
+	res := RunPortfolio(members, Options{Strategy: StrategyCUPAPath, Seed: 9, Metrics: reg, Parallel: 2}, 400_000)
+	if res.Aggregate.Runs <= 0 || res.Aggregate.VirtTime <= 0 {
+		t.Errorf("portfolio aggregate empty: %+v", res.Aggregate)
+	}
+	if got := reg.Counter(obs.MRuns).Value(); got != res.Aggregate.Runs {
+		t.Errorf("merged metric runs = %d, aggregate = %d", got, res.Aggregate.Runs)
+	}
+	if got := reg.Counter(obs.MForks).Value(); got != res.Aggregate.Forks {
+		t.Errorf("merged metric forks = %d, aggregate = %d", got, res.Aggregate.Forks)
+	}
+	if len(res.Tests) == 0 {
+		t.Error("portfolio found no tests")
+	}
+}

@@ -3,6 +3,8 @@ package chef
 import (
 	"runtime"
 	"sync"
+
+	"chef/internal/obs"
 )
 
 // Portfolio exploration implements the extension §6.5 of the paper suggests:
@@ -33,6 +35,11 @@ type PortfolioResult struct {
 	// NewPerBuild reports how many paths each member contributed that no
 	// earlier member had found.
 	NewPerBuild []int
+	// Aggregate is the sum of the member sessions' summaries (Summary.Add):
+	// total runs, forks, LL paths and virtual time spent across the
+	// portfolio. Path counts here are per-member sums; Tests holds the
+	// cross-member deduplicated view.
+	Aggregate Summary
 }
 
 // RunPortfolio explores every member under an equal share of the budget and
@@ -48,6 +55,7 @@ func RunPortfolio(members []PortfolioMember, opts Options, budget int64) Portfol
 	}
 	share := budget / int64(len(members))
 	perMember := make([][]TestCase, len(members))
+	summaries := make([]Summary, len(members))
 	workers := opts.Parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -55,11 +63,28 @@ func RunPortfolio(members []PortfolioMember, opts Options, budget int64) Portfol
 	if workers > len(members) {
 		workers = len(members)
 	}
+	// Observability: each member session writes into its own child registry;
+	// children merge into the caller's registry in member order after the
+	// pool drains, so aggregated metrics are schedule-independent.
+	var childRegs []*obs.Registry
+	if opts.Metrics != nil {
+		childRegs = make([]*obs.Registry, len(members))
+		for i := range childRegs {
+			childRegs[i] = obs.NewRegistry()
+		}
+	}
 	runMember := func(i int) {
 		memberOpts := opts
 		memberOpts.Seed = opts.Seed + int64(i)*104729
+		if memberOpts.Name == "" {
+			memberOpts.Name = members[i].Name
+		}
+		if childRegs != nil {
+			memberOpts.Metrics = childRegs[i]
+		}
 		s := NewSession(members[i].Prog, memberOpts)
 		perMember[i] = s.Run(share)
+		summaries[i] = s.Summary()
 	}
 	if workers <= 1 {
 		for i := range members {
@@ -82,6 +107,14 @@ func RunPortfolio(members []PortfolioMember, opts Options, budget int64) Portfol
 		}
 		close(next)
 		wg.Wait()
+	}
+	if childRegs != nil {
+		for _, child := range childRegs {
+			opts.Metrics.Merge(child)
+		}
+	}
+	for _, sum := range summaries {
+		res.Aggregate.Add(sum)
 	}
 	// Deterministic merge in member order: first build to find a path wins.
 	seen := map[uint64]bool{}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"chef/internal/lowlevel"
+	"chef/internal/obs"
 )
 
 // Level describes one classification level of the CUPA tree.
@@ -37,6 +38,12 @@ type Strategy struct {
 	rng         *rand.Rand
 	root        *node
 	count       int
+
+	// Observability (nil when disabled; selection decisions are unaffected).
+	tracer    obs.Tracer
+	mSelects  *obs.Counter
+	mByClass  *obs.CounterVec
+	virtClock func() int64
 }
 
 type node struct {
@@ -51,6 +58,19 @@ func newNode() *node { return &node{children: map[uint64]*node{}} }
 // for uniform leaf selection.
 func New(rng *rand.Rand, levels []Level, stateWeight func(*lowlevel.State) float64) *Strategy {
 	return &Strategy{levels: levels, stateWeight: stateWeight, rng: rng, root: newNode()}
+}
+
+// Instrument attaches observability sinks: reg receives the selection counter
+// and per-top-level-class pick counts, tr receives one cupa-pick event per
+// selection. clock, when non-nil, timestamps events with the session's
+// virtual time. Observation-only — selection behavior is unchanged.
+func (c *Strategy) Instrument(reg *obs.Registry, tr obs.Tracer, clock func() int64) {
+	if reg != nil {
+		c.mSelects = reg.Counter(obs.MCupaSelections)
+		c.mByClass = reg.CounterVec(obs.MCupaPicksByClass)
+	}
+	c.tracer = tr
+	c.virtClock = clock
 }
 
 // Add implements lowlevel.Strategy.
@@ -92,6 +112,31 @@ func (c *Strategy) Select() *lowlevel.State {
 	}
 	s := c.pickState(n)
 	c.count--
+	if c.mSelects != nil {
+		c.mSelects.Inc()
+		if len(keys) > 0 {
+			c.mByClass.At(keys[0]).Inc()
+		}
+	}
+	if c.tracer != nil {
+		var t int64
+		if c.virtClock != nil {
+			t = c.virtClock()
+		}
+		var class uint64
+		if len(keys) > 0 {
+			class = keys[0]
+		}
+		c.tracer.Emit(&obs.Event{
+			T:       t,
+			Kind:    obs.KindCUPAPick,
+			Class:   class,
+			LLPC:    uint64(s.LLPC),
+			HLPC:    s.StaticHLPC,
+			DynHLPC: s.DynHLPC,
+			Depth:   s.Depth,
+		})
+	}
 	// Prune empty nodes bottom-up.
 	for i := len(path) - 1; i > 0; i-- {
 		nd := path[i]

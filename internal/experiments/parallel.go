@@ -69,48 +69,54 @@ func runCells(b Budgets, cells []cell) []RunResult {
 }
 
 // HarnessStats aggregates solver-side work across every session the harness
-// has run since the last reset: how many sessions executed, how many
-// satisfiability queries they issued, and how the counterexample caches
-// fared. When sessions share a cache (Budgets.Cache), CacheStats of that
-// cache adds eviction and entry counts.
+// has run since the last reset: how many sessions executed, plus the full
+// solver counter set summed over all sessions. The headline fields mirror
+// the totals callers printed historically; Solver carries everything else
+// (propagations, conflicts, per-result query counts). When sessions share a
+// cache (Budgets.Cache), CacheStats of that cache adds eviction and entry
+// counts.
 type HarnessStats struct {
 	Sessions      int64
 	SolverQueries int64
 	CacheHits     int64
 	CacheMisses   int64
+	Solver        solver.Stats
 }
 
 var harness struct {
-	sessions atomic.Int64
-	queries  atomic.Int64
-	hits     atomic.Int64
-	misses   atomic.Int64
+	mu       sync.Mutex
+	sessions int64
+	solver   solver.Stats
 }
 
-// recordSession folds one finished session's solver counters into the
-// harness totals. Called from worker goroutines; all fields are atomics.
+// recordSession folds one finished session's solver snapshot into the
+// harness totals via solver.Stats.Add (the canonical merge helper — not
+// ad-hoc field sums). Called from worker goroutines under a short mutex.
 func recordSession(st solver.Stats) {
-	harness.sessions.Add(1)
-	harness.queries.Add(st.Queries)
-	harness.hits.Add(st.CacheHits)
-	harness.misses.Add(st.CacheMisses)
+	harness.mu.Lock()
+	harness.sessions++
+	harness.solver.Add(st)
+	harness.mu.Unlock()
 }
 
 // HarnessSnapshot returns the accumulated harness counters.
 func HarnessSnapshot() HarnessStats {
+	harness.mu.Lock()
+	defer harness.mu.Unlock()
 	return HarnessStats{
-		Sessions:      harness.sessions.Load(),
-		SolverQueries: harness.queries.Load(),
-		CacheHits:     harness.hits.Load(),
-		CacheMisses:   harness.misses.Load(),
+		Sessions:      harness.sessions,
+		SolverQueries: harness.solver.Queries,
+		CacheHits:     harness.solver.CacheHits,
+		CacheMisses:   harness.solver.CacheMisses,
+		Solver:        harness.solver,
 	}
 }
 
 // ResetHarnessStats zeroes the harness counters (tests and the CLI call it
 // between experiments).
 func ResetHarnessStats() {
-	harness.sessions.Store(0)
-	harness.queries.Store(0)
-	harness.hits.Store(0)
-	harness.misses.Store(0)
+	harness.mu.Lock()
+	harness.sessions = 0
+	harness.solver = solver.Stats{}
+	harness.mu.Unlock()
 }

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -18,6 +19,7 @@ import (
 	"chef/internal/lowlevel"
 	"chef/internal/minilua"
 	"chef/internal/minipy"
+	"chef/internal/obs"
 	"chef/internal/packages"
 	"chef/internal/solver"
 )
@@ -43,6 +45,16 @@ type Budgets struct {
 	// per-session caches, which additionally guarantees bit-exact
 	// reproducibility across schedules; see solver.QueryCache.
 	Cache *solver.QueryCache
+	// Metrics, when non-nil, aggregates observability metrics across every
+	// session of the run: each session writes into a private child registry
+	// that is merged into this one when the session finishes (counters and
+	// histograms are commutative sums, so aggregation is schedule-
+	// independent). Observation-only: tables and figures are unaffected.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives structured exploration events from every
+	// session, labeled "<package>/<config>/<seed>". The tracer must be safe
+	// for concurrent use (obs.NewJSONL is).
+	Tracer obs.Tracer
 }
 
 // Workers returns the effective worker count of the harness pool.
@@ -110,6 +122,13 @@ func RunPackage(p *packages.Package, cfg Configuration, b Budgets, seed int64) R
 		Seed:          seed,
 		StepLimit:     b.StepLimit,
 		SolverOptions: solver.Options{Cache: b.Cache},
+		Tracer:        b.Tracer,
+		Name:          fmt.Sprintf("%s/%s/%d", p.Name, cfg.Name, seed),
+	}
+	var child *obs.Registry
+	if b.Metrics != nil {
+		child = obs.NewRegistry()
+		opts.Metrics = child
 	}
 	res := RunResult{Package: p.Name, Config: cfg.Name, Exceptions: map[string]bool{}}
 	var tests []chef.TestCase
@@ -150,6 +169,9 @@ func RunPackage(p *packages.Package, cfg Configuration, b Budgets, seed int64) R
 	res.VirtTime = session.Engine().Clock()
 	res.Solver = session.Engine().Solver().Stats()
 	recordSession(res.Solver)
+	if child != nil {
+		b.Metrics.Merge(child)
+	}
 	return res
 }
 

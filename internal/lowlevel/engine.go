@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"chef/internal/obs"
 	"chef/internal/solver"
 	"chef/internal/symexpr"
 )
@@ -92,6 +93,13 @@ type Options struct {
 	SolverOptions solver.Options
 	// ForkWeightDecay is the p of §3.4 (default 0.75).
 	ForkWeightDecay float64
+	// Metrics, when non-nil, receives engine counters/gauges (fork counts
+	// per LLPC, states alive, run outcomes). Observation-only: it never
+	// affects exploration.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives structured exploration events (forks,
+	// run ends). Disabled tracing costs one nil-check per site.
+	Tracer obs.Tracer
 }
 
 func (o *Options) fill() {
@@ -103,7 +111,10 @@ func (o *Options) fill() {
 	}
 }
 
-// Stats counts engine-level events.
+// Stats counts engine-level events. Engine.Stats returns it by value — a
+// point-in-time snapshot that does not track later engine progress; callers
+// that want fresh numbers re-snapshot, and aggregators combine snapshots with
+// Add rather than summing fields by hand.
 type Stats struct {
 	Runs          int64
 	LLPaths       int64 // completed low-level paths (test cases at LL granularity)
@@ -114,6 +125,20 @@ type Stats struct {
 	UnsatStates   int64
 	UnknownStates int64
 	Divergences   int64
+}
+
+// Add folds another snapshot into s, field by field. It is the merge helper
+// for aggregating per-session snapshots (portfolio members, harness cells).
+func (s *Stats) Add(o Stats) {
+	s.Runs += o.Runs
+	s.LLPaths += o.LLPaths
+	s.Hangs += o.Hangs
+	s.AssumeFails += o.AssumeFails
+	s.Forks += o.Forks
+	s.DupStates += o.DupStates
+	s.UnsatStates += o.UnsatStates
+	s.UnknownStates += o.UnknownStates
+	s.Divergences += o.Divergences
 }
 
 // Program is the entry point the CHEF layer hands to the engine: one full
@@ -139,6 +164,21 @@ type Engine struct {
 	clock int64 // virtual time: steps + solver propagation cost
 	stats Stats
 
+	// Observability (all nil when disabled; observation-only).
+	tracer     obs.Tracer
+	metrics    *obs.Registry
+	mForks     *obs.Counter
+	mDup       *obs.Counter
+	mRuns      *obs.Counter
+	mHangs     *obs.Counter
+	mLLPaths   *obs.Counter
+	mUnsat     *obs.Counter
+	mUnknown   *obs.Counter
+	mDiverge   *obs.Counter
+	mCompleted *obs.Counter
+	mPending   *obs.Gauge
+	mForkLLPC  *obs.CounterVec
+
 	// Per-run fork-weight grouping.
 	group     []*State
 	groupLLPC LLPC
@@ -152,15 +192,44 @@ type Engine struct {
 // NewEngine builds an engine exploring prog with the given strategy.
 func NewEngine(prog Program, strategy Strategy, opts Options) *Engine {
 	opts.fill()
-	return &Engine{
+	// The solver inherits the engine's observability sinks unless the caller
+	// wired its own.
+	so := opts.SolverOptions
+	if so.Metrics == nil {
+		so.Metrics = opts.Metrics
+	}
+	if so.Tracer == nil {
+		so.Tracer = opts.Tracer
+	}
+	e := &Engine{
 		opts:       opts,
-		solver:     solver.New(opts.SolverOptions),
+		solver:     solver.New(so),
 		strategy:   strategy,
 		prog:       prog,
 		rng:        rand.New(rand.NewSource(opts.Seed)),
 		visited:    map[uint64]bool{},
 		seenValues: map[concretizeKey]map[uint64]bool{},
+		tracer:     opts.Tracer,
+		metrics:    opts.Metrics,
 	}
+	if reg := opts.Metrics; reg != nil {
+		e.mForks = reg.Counter(obs.MForks)
+		e.mDup = reg.Counter(obs.MDupStates)
+		e.mRuns = reg.Counter(obs.MRuns)
+		e.mHangs = reg.Counter(obs.MHangs)
+		e.mLLPaths = reg.Counter(obs.MLLPaths)
+		e.mUnsat = reg.Counter(obs.MUnsatStates)
+		e.mUnknown = reg.Counter(obs.MUnknownStates)
+		e.mDiverge = reg.Counter(obs.MDivergences)
+		e.mCompleted = reg.Counter(obs.MStatesCompleted)
+		e.mPending = reg.Gauge(obs.MStatesPending)
+		e.mForkLLPC = reg.CounterVec(obs.MForksByLLPC)
+	}
+	if so.Tracer != nil {
+		// Stamp solver events with the engine's virtual clock.
+		e.solver.SetNow(func() int64 { return e.clock })
+	}
+	return e
 }
 
 // Solver exposes the engine's constraint solver (for stats and the CHEF
@@ -174,7 +243,10 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Clock returns the virtual time consumed so far.
 func (e *Engine) Clock() int64 { return e.clock }
 
-// Stats returns a copy of the engine counters.
+// Stats returns a value snapshot of the engine counters, taken at call time.
+// The copy does not track later engine progress (staleness-by-copy is the
+// intended semantics); re-snapshot for fresh numbers and combine snapshots
+// with Stats.Add.
 func (e *Engine) Stats() Stats { return e.stats }
 
 // Pending returns the number of queued states.
@@ -188,8 +260,35 @@ func (e *Engine) chargeSolver(propsBefore int64) {
 
 func (e *Engine) registerAlternate(m *Machine, llpc LLPC, alt *symexpr.Expr, altSig uint64, flipTaken, oriented bool) {
 	e.stats.Forks++
+	if e.metrics != nil {
+		e.mForks.Inc()
+		e.mForkLLPC.At(uint64(llpc)).Inc()
+	}
+	if e.tracer != nil {
+		decision := "exclude"
+		if oriented {
+			if flipTaken {
+				decision = "flip-taken"
+			} else {
+				decision = "flip-untaken"
+			}
+		}
+		e.tracer.Emit(&obs.Event{
+			T:        e.clock + m.steps,
+			Kind:     obs.KindLLFork,
+			LLPC:     uint64(llpc),
+			HLPC:     m.StaticHLPC,
+			DynHLPC:  m.DynHLPC,
+			Opcode:   m.Opcode,
+			Decision: decision,
+			Depth:    m.nDecisions,
+		})
+	}
 	if e.visited[altSig] {
 		e.stats.DupStates++
+		if e.metrics != nil {
+			e.mDup.Inc()
+		}
 		return
 	}
 	e.visited[altSig] = true
@@ -221,6 +320,9 @@ func (e *Engine) registerAlternate(m *Machine, llpc LLPC, alt *symexpr.Expr, alt
 		e.OnFork(st)
 	}
 	e.strategy.Add(st)
+	if e.metrics != nil {
+		e.mPending.Set(int64(e.strategy.Len()))
+	}
 }
 
 // finalizeGroup assigns fork weights p^(n-1-i) to the current group.
@@ -282,10 +384,34 @@ func (e *Engine) runWith(input symexpr.Assignment, flip *State) *RunInfo {
 		if m.diverged || m.nDecisions <= flip.flipIdx {
 			info.Diverged = true
 			e.stats.Divergences++
+			if e.metrics != nil {
+				e.mDiverge.Inc()
+			}
 		}
 	}
 	if info.Status != RunAssumeFailed {
 		e.stats.LLPaths++
+	}
+	if e.metrics != nil {
+		e.mRuns.Inc()
+		e.mCompleted.Inc()
+		if info.Status == RunHang {
+			e.mHangs.Inc()
+		}
+		if info.Status != RunAssumeFailed {
+			e.mLLPaths.Inc()
+		}
+		e.mPending.Set(int64(e.strategy.Len()))
+	}
+	if e.tracer != nil {
+		e.tracer.Emit(&obs.Event{
+			T:        e.clock,
+			Kind:     obs.KindRunEnd,
+			Status:   info.Status.String(),
+			Steps:    info.Steps,
+			Depth:    info.Depth,
+			Diverged: info.Diverged,
+		})
 	}
 	return info
 }
@@ -314,9 +440,17 @@ func (e *Engine) runState(st *State) *RunInfo {
 	switch res {
 	case solver.Unsat:
 		e.stats.UnsatStates++
+		if e.metrics != nil {
+			e.mUnsat.Inc()
+			e.mPending.Set(int64(e.strategy.Len()))
+		}
 		return nil
 	case solver.Unknown:
 		e.stats.UnknownStates++
+		if e.metrics != nil {
+			e.mUnknown.Inc()
+			e.mPending.Set(int64(e.strategy.Len()))
+		}
 		return nil
 	}
 	// Merge the model over the forking run's concrete inputs so unconstrained

@@ -54,6 +54,7 @@ type Machine struct {
 	sig        uint64 // rolling low-level path signature
 	steps      int64
 	nDecisions int
+	nBranches  int64 // branch sites visited (concrete + symbolic)
 
 	// Expected divergence check: when a run was synthesized to flip the
 	// decision at index expectIdx, the engine verifies the flip happened.
@@ -79,6 +80,11 @@ func sigStep(sig uint64, llpc LLPC, taken uint64) uint64 {
 
 // Steps returns the number of virtual steps this run has executed.
 func (m *Machine) Steps() int64 { return m.steps }
+
+// Branches returns the number of low-level branch sites this run visited
+// (concrete and symbolic alike). Replay tooling reports it as the LL branch
+// count of a path.
+func (m *Machine) Branches() int64 { return m.nBranches }
 
 // Diverged reports whether the run failed to flip the decision it was
 // synthesized to flip.
@@ -177,6 +183,7 @@ func (m *Machine) Branch(llpc LLPC, cond SVal) bool {
 		panic(fmt.Sprintf("lowlevel: Branch condition width %d, want 1", cond.W))
 	}
 	m.Step(1)
+	m.nBranches++
 	taken := cond.C != 0
 	if !cond.IsSymbolic() {
 		return taken

@@ -1,0 +1,127 @@
+// Package obscli wires the observability layer (internal/obs) into the
+// command-line tools. It owns the shared -trace / -metrics / -metrics-json /
+// -httpobs flags of cmd/chef and cmd/chef-experiments so both binaries expose
+// identical knobs, and it keeps the net/http/pprof side-effect import out of
+// the engine packages: only binaries that link this package register pprof
+// handlers on the default mux.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -httpobs
+	"os"
+
+	"chef/internal/obs"
+)
+
+// Flags is the standard observability flag set. Register it on a FlagSet,
+// parse, then call Start before the run and Finish after it.
+type Flags struct {
+	// Trace is the JSONL event output path ("" disables tracing).
+	Trace string
+	// Metrics requests a human-readable metrics dump on Finish.
+	Metrics bool
+	// MetricsJSON is a path to write the metrics snapshot as JSON ("" off).
+	MetricsJSON string
+	// HTTPAddr serves expvar + pprof when non-empty (e.g. ":6060").
+	HTTPAddr string
+
+	reg    *obs.Registry
+	tracer *obs.JSONL
+}
+
+// Register installs the observability flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Trace, "trace", "", "write structured exploration events as JSONL to this file")
+	fs.BoolVar(&f.Metrics, "metrics", false, "print a metrics dump (counters, gauges, solver latency histograms, cache hit rates) at exit")
+	fs.StringVar(&f.MetricsJSON, "metrics-json", "", "write the metrics snapshot as JSON to this file")
+	fs.StringVar(&f.HTTPAddr, "httpobs", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address, e.g. :6060")
+}
+
+// MetricsEnabled reports whether any metrics sink was requested.
+func (f *Flags) MetricsEnabled() bool {
+	return f.Metrics || f.MetricsJSON != "" || f.HTTPAddr != ""
+}
+
+// Start opens the requested sinks: it creates the registry when any metrics
+// sink is enabled, opens the trace file, and starts the expvar/pprof endpoint
+// (publishing the registry under publishName). Returns an error if the trace
+// file cannot be created.
+func (f *Flags) Start(publishName string) error {
+	if f.MetricsEnabled() {
+		f.reg = obs.NewRegistry()
+		if f.HTTPAddr != "" {
+			f.reg.Publish(publishName)
+			go func() {
+				if err := http.ListenAndServe(f.HTTPAddr, nil); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: -httpobs: %v\n", publishName, err)
+				}
+			}()
+		}
+	}
+	if f.Trace != "" {
+		out, err := os.Create(f.Trace)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		f.tracer = obs.NewJSONL(out)
+	}
+	return nil
+}
+
+// Registry returns the metrics registry, nil when no metrics sink is enabled.
+// The nil default is what the engine packages expect for disabled metrics.
+func (f *Flags) Registry() *obs.Registry { return f.reg }
+
+// Tracer returns the trace sink as the interface the engine consumes, nil
+// when tracing is disabled (a typed-nil *JSONL must not leak into the
+// interface, or every nil-check in the hot path would pass).
+func (f *Flags) Tracer() obs.Tracer {
+	if f.tracer == nil {
+		return nil
+	}
+	return f.tracer
+}
+
+// SetCacheGauges copies end-of-run query-cache occupancy into the dump-time
+// gauges (entries, evictions). Call just before Finish when a cache handle is
+// reachable; a no-op when metrics are disabled.
+func (f *Flags) SetCacheGauges(entries, evictions int64) {
+	if f.reg == nil {
+		return
+	}
+	f.reg.Gauge(obs.MSolverCacheEntries).Set(entries)
+	f.reg.Gauge(obs.MSolverCacheEvicted).Set(evictions)
+}
+
+// Finish flushes and closes the trace file, prints the text metrics dump to w
+// when -metrics was given, and writes the JSON snapshot when -metrics-json
+// was given. Safe to call when no sink is enabled.
+func (f *Flags) Finish(w io.Writer) error {
+	if f.tracer != nil {
+		if err := f.tracer.Close(); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		f.tracer = nil
+	}
+	if f.reg == nil {
+		return nil
+	}
+	if f.Metrics {
+		fmt.Fprintln(w, "---- metrics ----")
+		f.reg.WriteText(w)
+	}
+	if f.MetricsJSON != "" {
+		data, err := f.reg.MarshalJSON()
+		if err != nil {
+			return fmt.Errorf("-metrics-json: %w", err)
+		}
+		if err := os.WriteFile(f.MetricsJSON, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("-metrics-json: %w", err)
+		}
+	}
+	return nil
+}

@@ -2,7 +2,9 @@ package solver
 
 import (
 	"sort"
+	"time"
 
+	"chef/internal/obs"
 	"chef/internal/symexpr"
 )
 
@@ -43,12 +45,21 @@ type Options struct {
 	// reuse. See the QueryCache determinism note before sharing one between
 	// concurrent sessions.
 	Cache *QueryCache
+	// Metrics, when non-nil, receives per-query counters and latency
+	// histograms (virtual propagations and wall-clock ns). Wall clock is read
+	// only when observability is enabled and never enters solver results, so
+	// instrumented runs stay deterministic.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives one structured event per Check call.
+	Tracer obs.Tracer
 }
 
 const defaultPropBudget = 4_000_000
 
 // Stats accumulates solver work, expressed in units the engine converts to
-// virtual time.
+// virtual time. Solver.Stats returns it by value — a point-in-time snapshot
+// that does not track later queries; aggregators combine snapshots with Add
+// rather than summing individual fields by hand.
 type Stats struct {
 	Queries      int64
 	SatQueries   int64
@@ -61,6 +72,20 @@ type Stats struct {
 	ClausesAdded int64
 }
 
+// Add folds another snapshot into s, field by field. It is the merge helper
+// used by the portfolio/harness aggregators.
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.SatQueries += o.SatQueries
+	s.UnsatQueries += o.UnsatQueries
+	s.Unknowns += o.Unknowns
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.ClausesAdded += o.ClausesAdded
+}
+
 // Solver decides conjunctions of width-1 bit-vector expressions.
 // A Solver is not safe for concurrent use; concurrency happens one solver per
 // session, optionally sharing a thread-safe QueryCache (Options.Cache).
@@ -68,6 +93,19 @@ type Solver struct {
 	opts  Options
 	stats Stats
 	cache *QueryCache // nil iff DisableCache and no shared cache given
+
+	// Observability (all nil when disabled).
+	tracer    obs.Tracer
+	now       func() int64 // virtual clock source for trace events
+	mQueries  *obs.Counter
+	mSat      *obs.Counter
+	mUnsat    *obs.Counter
+	mUnknown  *obs.Counter
+	mHits     *obs.Counter
+	mMisses   *obs.Counter
+	hVirt     *obs.Histogram
+	hWall     *obs.Histogram
+	observing bool
 }
 
 type cachedQuery struct {
@@ -88,10 +126,29 @@ func New(opts Options) *Solver {
 	case !opts.DisableCache:
 		s.cache = NewQueryCache(0)
 	}
+	if reg := opts.Metrics; reg != nil {
+		s.mQueries = reg.Counter(obs.MSolverQueries)
+		s.mSat = reg.Counter(obs.MSolverSat)
+		s.mUnsat = reg.Counter(obs.MSolverUnsat)
+		s.mUnknown = reg.Counter(obs.MSolverUnknown)
+		s.mHits = reg.Counter(obs.MSolverCacheHits)
+		s.mMisses = reg.Counter(obs.MSolverCacheMisses)
+		s.hVirt = reg.Histogram(obs.MSolverQueryVirt)
+		s.hWall = reg.Histogram(obs.MSolverQueryWall)
+	}
+	s.tracer = opts.Tracer
+	s.observing = opts.Metrics != nil || opts.Tracer != nil
 	return s
 }
 
-// Stats returns a copy of the accumulated counters.
+// SetNow installs a virtual-clock source used to timestamp trace events (the
+// engine points it at its own clock). Purely observational.
+func (s *Solver) SetNow(now func() int64) { s.now = now }
+
+// Stats returns a value snapshot of the accumulated counters, taken at call
+// time. The copy does not track later queries (staleness-by-copy is the
+// intended semantics); re-snapshot for fresh numbers and combine snapshots
+// with Stats.Add.
 func (s *Solver) Stats() Stats { return s.stats }
 
 // Cache returns the solver's counterexample cache (nil when caching is
@@ -104,7 +161,61 @@ func (s *Solver) Cache() *QueryCache { return s.cache }
 // values, so only the group touched by the freshly negated constraint is
 // re-solved. On Sat the returned assignment covers every variable in pc
 // (values from base are reused where valid).
+//
+// When observability is enabled (Options.Metrics/Tracer), Check additionally
+// records per-query latency in virtual units (SAT propagations) and
+// wall-clock ns, and emits a solver-query trace event. The wall clock is read
+// only on this instrumented path and influences nothing the solver returns.
 func (s *Solver) Check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, symexpr.Assignment) {
+	if !s.observing {
+		return s.check(pc, base)
+	}
+	propsBefore := s.stats.Propagations
+	hitsBefore := s.stats.CacheHits
+	missesBefore := s.stats.CacheMisses
+	start := time.Now()
+	res, model := s.check(pc, base)
+	virt := s.stats.Propagations - propsBefore
+	wall := time.Since(start).Nanoseconds()
+	cacheHit := s.stats.CacheHits > hitsBefore
+	if s.mQueries != nil {
+		s.mQueries.Inc()
+		switch res {
+		case Sat:
+			s.mSat.Inc()
+		case Unsat:
+			s.mUnsat.Inc()
+		default:
+			s.mUnknown.Inc()
+		}
+		if cacheHit {
+			s.mHits.Inc()
+		} else if s.stats.CacheMisses > missesBefore {
+			s.mMisses.Inc()
+		}
+		s.hVirt.Observe(virt)
+		s.hWall.Observe(wall)
+	}
+	if s.tracer != nil {
+		var t int64
+		if s.now != nil {
+			t = s.now()
+		}
+		s.tracer.Emit(&obs.Event{
+			T:           t,
+			Kind:        obs.KindSolverQuery,
+			Result:      res.String(),
+			VirtCost:    virt,
+			WallCost:    wall,
+			CacheHit:    cacheHit,
+			Constraints: len(pc),
+		})
+	}
+	return res, model
+}
+
+// check is the uninstrumented core of Check.
+func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, symexpr.Assignment) {
 	s.stats.Queries++
 	// Constant-filter: drop constraints that are literally true; a literally
 	// false constraint decides the query immediately.

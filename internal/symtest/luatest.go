@@ -82,9 +82,10 @@ func (t *LuaTest) Replay(input symexpr.Assignment, stepLimit int64) ReplayResult
 	}
 	m := lowlevel.NewConcreteMachine(input.Clone(), stepLimit)
 	cov := minilua.NewCoverageHost(t.prog)
+	host := &countingHost{inner: cov}
 	res := ReplayResult{Lines: cov.Lines}
 	res.Status = m.RunConcrete(func(m *lowlevel.Machine) {
-		vm, out := minilua.RunModule(t.prog, m, cov, minilua.Vanilla)
+		vm, out := minilua.RunModule(t.prog, m, host, minilua.Vanilla)
 		if out.Error != "" {
 			res.Result = "moduleerror:" + out.Error
 			return
@@ -99,5 +100,8 @@ func (t *LuaTest) Replay(input symexpr.Assignment, stepLimit int64) ReplayResult
 	if res.Status == lowlevel.RunHang && res.Result == "" {
 		res.Result = "hang"
 	}
+	res.HLLen = host.n
+	res.LLBranches = m.Branches()
+	res.Steps = m.Steps()
 	return res
 }

@@ -138,6 +138,32 @@ type ReplayResult struct {
 	Result string
 	Status lowlevel.RunStatus
 	Lines  map[int]bool // covered source lines
+	// HLLen is the length of the high-level instruction trace (LogPC calls)
+	// of the replay, LLBranches the number of low-level branch sites visited
+	// and Steps the virtual-time cost — the per-test execution profile that
+	// chef-replay -summary reports.
+	HLLen      int
+	LLBranches int64
+	Steps      int64
+}
+
+// hlHost is the structural shape shared by minipy.Host and minilua.Host, so
+// one counting wrapper serves both interpreters.
+type hlHost interface {
+	LogPC(hlpc uint64, opcode uint32)
+}
+
+// countingHost forwards the high-level trace to the coverage recorder while
+// counting its length.
+type countingHost struct {
+	inner hlHost
+	n     int
+}
+
+// LogPC implements minipy.Host and minilua.Host.
+func (h *countingHost) LogPC(hlpc uint64, opcode uint32) {
+	h.n++
+	h.inner.LogPC(hlpc, opcode)
 }
 
 // Replay re-executes a generated test case on the vanilla interpreter (no
@@ -148,9 +174,10 @@ func (t *PyTest) Replay(input symexpr.Assignment, stepLimit int64) ReplayResult 
 	}
 	m := lowlevel.NewConcreteMachine(input.Clone(), stepLimit)
 	cov := minipy.NewCoverageHost(t.prog)
+	host := &countingHost{inner: cov}
 	res := ReplayResult{Lines: cov.Lines}
 	res.Status = m.RunConcrete(func(m *lowlevel.Machine) {
-		vm, out := minipy.RunModule(t.prog, m, cov, minipy.Vanilla)
+		vm, out := minipy.RunModule(t.prog, m, host, minipy.Vanilla)
 		if out.Exception != "" {
 			res.Result = "moduleerror:" + out.Exception
 			return
@@ -169,6 +196,9 @@ func (t *PyTest) Replay(input symexpr.Assignment, stepLimit int64) ReplayResult 
 	if res.Status == lowlevel.RunHang && res.Result == "" {
 		res.Result = "hang"
 	}
+	res.HLLen = host.n
+	res.LLBranches = m.Branches()
+	res.Steps = m.Steps()
 	return res
 }
 

@@ -559,3 +559,78 @@ func BenchmarkTracingOverhead(b *testing.B) {
 		benchExplore(b, obs.NewRegistry(), tr)
 	})
 }
+
+// benchQueries builds a deterministic batch of growing path conditions over
+// one symbolic byte — the natural query pattern of symbolic execution, where
+// each branch appends one conjunct to the previous path condition.
+func benchQueries() [][]*symexpr.Expr {
+	a := symexpr.NewVar(symexpr.Var{Buf: "a", W: symexpr.W8})
+	grow := []*symexpr.Expr{
+		symexpr.Ult(a, symexpr.Const(200, symexpr.W8)),
+		symexpr.Ult(symexpr.Const(10, symexpr.W8), a),
+		symexpr.Ne(a, symexpr.Const(50, symexpr.W8)),
+		symexpr.Ne(a, symexpr.Const(77, symexpr.W8)),
+		symexpr.Ule(a, symexpr.Const(180, symexpr.W8)),
+	}
+	var out [][]*symexpr.Expr
+	for i := 1; i <= len(grow); i++ {
+		out = append(out, grow[:i])
+	}
+	return out
+}
+
+// BenchmarkCheckCached measures one solver query in every cache regime:
+// nocache re-solves each time (the price of a miss), exact and subsume serve
+// repeats from their respective cache layers (the price of a hit). The
+// hit/miss ratio here is what the counterexample cache buys the engine on
+// every branch of an exploration.
+func BenchmarkCheckCached(b *testing.B) {
+	queries := benchQueries()
+	run := func(b *testing.B, opts solver.Options) {
+		s := solver.New(opts)
+		for _, q := range queries { // warm every layer
+			s.Check(q, nil)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res, _ := s.Check(queries[i%len(queries)], nil); res != solver.Sat {
+				b.Fatalf("unexpected verdict %v", res)
+			}
+		}
+	}
+	b.Run("nocache", func(b *testing.B) { run(b, solver.Options{DisableCache: true}) })
+	b.Run("exact", func(b *testing.B) { run(b, solver.Options{Mode: solver.CacheExact}) })
+	b.Run("subsume", func(b *testing.B) { run(b, solver.Options{Mode: solver.CacheSubsume}) })
+}
+
+// BenchmarkInterning measures hash-consed construction of a fixed expression
+// tree. After the first build every constructor call is an interner hit, so
+// this is the steady-state cost the engine pays per emitted expression node —
+// and the pointer-equality dividend is visible in the "equal" sub-bench,
+// which compares two structurally equal trees in O(1).
+func BenchmarkInterning(b *testing.B) {
+	build := func(salt uint64) *symexpr.Expr {
+		a := symexpr.NewVar(symexpr.Var{Buf: "a", W: symexpr.W8})
+		x := symexpr.Add(a, symexpr.Const(salt&0xff, symexpr.W8))
+		for i := 0; i < 10; i++ {
+			x = symexpr.Xor(symexpr.Mul(x, symexpr.Const(uint64(i)|1, symexpr.W8)), a)
+		}
+		return symexpr.Ult(x, symexpr.Const(200, symexpr.W8))
+	}
+	b.Run("construct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if build(7) == nil {
+				b.Fatal("nil expr")
+			}
+		}
+	})
+	b.Run("equal", func(b *testing.B) {
+		x, y := build(7), build(7)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !symexpr.Equal(x, y) {
+				b.Fatal("interned trees unequal")
+			}
+		}
+	})
+}

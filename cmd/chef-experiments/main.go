@@ -34,6 +34,8 @@ func main() {
 		frames   = flag.Int("frames", 4, "max symbolic frames for fig12")
 		parallel = flag.Int("parallel", 0, "worker goroutines for the session grid (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 		shared   = flag.Bool("sharedcache", false, "share one counterexample cache across all sessions (throughput knob; models may then depend on scheduling)")
+		cmode    = flag.String("cachemode", "exact", "counterexample cache lookup layers: exact | subsume")
+		cfile    = flag.String("cachefile", "", "persistent counterexample cache: load solved queries from this file at startup, append new ones")
 		stats    = flag.Bool("stats", false, "print harness statistics (sessions, solver queries, cache hits/misses) after each experiment")
 	)
 	var obsFlags obscli.Flags
@@ -50,13 +52,33 @@ func main() {
 	if *shared {
 		b.Cache = solver.NewQueryCache(0)
 	}
+	mode, ok := solver.ParseCacheMode(*cmode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "chef-experiments: unknown -cachemode %q (want exact or subsume)\n", *cmode)
+		os.Exit(1)
+	}
+	b.CacheMode = mode
+	if *cfile != "" {
+		persist, err := solver.OpenPersistentStore(*cfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chef-experiments: -cachefile: %v\n", err)
+			os.Exit(1)
+		}
+		if cerr := persist.Corruption(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "chef-experiments: -cachefile: %v; continuing with the %d valid entries (appends disabled)\n",
+				cerr, persist.Loaded())
+		}
+		b.Persist = persist
+	}
 	printStats := func() {
 		if !*stats {
 			return
 		}
 		hs := experiments.HarnessSnapshot()
-		fmt.Printf("[harness] workers=%d sessions=%d solver-queries=%d cache-hits=%d cache-misses=%d\n",
-			b.Workers(), hs.Sessions, hs.SolverQueries, hs.CacheHits, hs.CacheMisses)
+		fmt.Printf("[harness] workers=%d sessions=%d solver-queries=%d cache-hits=%d (exact=%d subsume-sat=%d subsume-unsat=%d persist=%d) cache-misses=%d\n",
+			b.Workers(), hs.Sessions, hs.SolverQueries, hs.CacheHits,
+			hs.Solver.CacheHitsExact, hs.Solver.CacheHitsSubsumeSat,
+			hs.Solver.CacheHitsSubsumeUnsat, hs.Solver.CacheHitsPersist, hs.CacheMisses)
 		if b.Cache != nil {
 			cs := b.Cache.Stats()
 			fmt.Printf("[shared-cache] queries=%d hits=%d misses=%d stores=%d evictions=%d entries=%d\n",
@@ -91,6 +113,13 @@ func main() {
 		if b.Cache != nil {
 			cs := b.Cache.Stats()
 			obsFlags.SetCacheGauges(cs.Entries, cs.Evictions)
+		}
+		if b.Persist != nil {
+			obsFlags.SetPersistStats(int64(b.Persist.Loaded()), b.Persist.Appended())
+			if err := b.Persist.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "chef-experiments: -cachefile: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		if err := obsFlags.Finish(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "chef-experiments: %v\n", err)

@@ -22,6 +22,7 @@ import (
 	"chef/internal/minipy"
 	"chef/internal/obscli"
 	"chef/internal/packages"
+	"chef/internal/solver"
 	"chef/internal/symtest"
 )
 
@@ -35,6 +36,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		vanilla  = flag.Bool("vanilla", false, "use the unoptimized interpreter build")
 		out      = flag.String("out", "", "write generated tests as NDJSON to this file")
+		cmode    = flag.String("cachemode", "exact", "counterexample cache lookup layers: exact | subsume")
+		cfile    = flag.String("cachefile", "", "persistent counterexample cache: load solved queries from this file at startup, append new ones")
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -56,18 +59,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chef: unknown strategy %q\n", *strategy)
 		os.Exit(1)
 	}
+	mode, ok := solver.ParseCacheMode(*cmode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "chef: unknown -cachemode %q (want exact or subsume)\n", *cmode)
+		os.Exit(1)
+	}
+	var persist *solver.PersistentStore
+	if *cfile != "" {
+		var err error
+		persist, err = solver.OpenPersistentStore(*cfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chef: -cachefile: %v\n", err)
+			os.Exit(1)
+		}
+		if cerr := persist.Corruption(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "chef: -cachefile: %v; continuing with the %d valid entries (appends disabled)\n",
+				cerr, persist.Loaded())
+		}
+	}
 	if err := obsFlags.Start("chef"); err != nil {
 		fmt.Fprintf(os.Stderr, "chef: %v\n", err)
 		os.Exit(1)
 	}
 
 	opts := chef.Options{
-		Strategy:  strat,
-		Seed:      *seed,
-		StepLimit: *stepCap,
-		Metrics:   obsFlags.Registry(),
-		Tracer:    obsFlags.Tracer(),
-		Name:      fmt.Sprintf("%s/%s/%d", *pkgName, *strategy, *seed),
+		Strategy:      strat,
+		Seed:          *seed,
+		StepLimit:     *stepCap,
+		SolverOptions: solver.Options{Mode: mode, Persist: persist},
+		Metrics:       obsFlags.Registry(),
+		Tracer:        obsFlags.Tracer(),
+		Name:          fmt.Sprintf("%s/%s/%d", *pkgName, *strategy, *seed),
 	}
 	var prog chef.TestProgram
 	pyCfg, luaCfg := minipy.Optimized, minilua.Optimized
@@ -114,6 +136,13 @@ func main() {
 
 	cs := session.Engine().Solver().Cache().Stats()
 	obsFlags.SetCacheGauges(cs.Entries, cs.Evictions)
+	if persist != nil {
+		obsFlags.SetPersistStats(int64(persist.Loaded()), persist.Appended())
+		if err := persist.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "chef: -cachefile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if err := obsFlags.Finish(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "chef: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+
+	"chef/internal/packages"
+	"chef/internal/solver"
+)
+
+// Warm-vs-cold suite: an experiment rerun against the persistent
+// counterexample cache written by a previous run must render byte-identical
+// output. The persistent layer replays the recorded verdict, model and
+// virtual solve cost, so the exploration — and therefore every number in the
+// tables and figures — cannot depend on whether the store was warm.
+
+// runFig8WithStore renders Figure 8 with a persistent store at path, and
+// returns the rendered bytes plus the aggregated solver stats of the pass.
+func runFig8WithStore(t *testing.T, path string) (string, solver.Stats) {
+	t.Helper()
+	store, err := solver.OpenPersistentStore(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	if cerr := store.Corruption(); cerr != nil {
+		t.Fatalf("store corrupt: %v", cerr)
+	}
+	ResetHarnessStats()
+	b := goldenBudgets()
+	b.Persist = store
+	out := RenderFig8(Fig8(b))
+	hs := HarnessSnapshot()
+	ResetHarnessStats()
+	if err := store.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return out, hs.Solver
+}
+
+// TestGoldenFig8WarmPersist runs Figure 8 cold (writing a fresh cache file),
+// then warm from that file, and requires (a) the warm pass actually hit the
+// persistent layer, (b) warm output is byte-identical to cold output, and
+// (c) both match the checked-in golden bytes.
+func TestGoldenFig8WarmPersist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "cxc.bin")
+	cold, coldStats := runFig8WithStore(t, path)
+	warm, warmStats := runFig8WithStore(t, path)
+	if coldStats.CacheHitsPersist != 0 {
+		t.Fatalf("cold pass hit the empty persistent store: %+v", coldStats)
+	}
+	if warmStats.CacheHitsPersist == 0 {
+		t.Fatalf("warm pass recorded no persistent hits: %+v", warmStats)
+	}
+	if cold != warm {
+		t.Fatalf("warm rerun diverged from cold run:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+	checkGolden(t, "fig8", warm)
+}
+
+// TestTable3SubsumeParallelDeterminism extends the schedule-independence
+// guarantee to the subsuming cache mode: the extra lookup layer reorders
+// nothing, so serial and 8-worker runs must render identical tables.
+func TestTable3SubsumeParallelDeterminism(t *testing.T) {
+	bud := func(workers int) Budgets {
+		b := quickParallelBudgets(workers)
+		b.CacheMode = solver.CacheSubsume
+		return b
+	}
+	serial := RenderTable3(Table3(bud(1)))
+	parallel := RenderTable3(Table3(bud(8)))
+	if serial != parallel {
+		t.Fatalf("Table 3 with subsume cache depends on scheduling:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestWarmParallelMatchesColdSerial crosses the two axes: a cold serial run
+// writes the store, then a warm 8-worker run in subsume mode must reproduce
+// the exact aggregates. This is the strongest reproducibility claim the
+// harness makes — scheduling, cache mode and store temperature all vary, the
+// numbers do not.
+func TestWarmParallelMatchesColdSerial(t *testing.T) {
+	p, _ := packages.ByName("simplejson")
+	cfg := FourConfigurations(true)[3]
+	path := filepath.Join(t.TempDir(), "cxc.bin")
+
+	run := func(workers int) (Aggregated, Aggregated, RunResult, solver.Stats) {
+		store, err := solver.OpenPersistentStore(path)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		ResetHarnessStats()
+		b := quickParallelBudgets(workers)
+		b.CacheMode = solver.CacheSubsume
+		b.Persist = store
+		ts, cs, last := RunRepeated(p, cfg, b)
+		hs := HarnessSnapshot()
+		ResetHarnessStats()
+		if err := store.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		return ts, cs, last, hs.Solver
+	}
+
+	st, sc, slast, _ := run(1)
+	pt, pc, plast, warmStats := run(8)
+	if warmStats.CacheHitsPersist == 0 {
+		t.Fatalf("warm parallel pass recorded no persistent hits: %+v", warmStats)
+	}
+	if st != pt || sc != pc {
+		t.Fatalf("aggregates diverged:\n cold serial   tests=%+v cov=%+v\n warm parallel tests=%+v cov=%+v", st, sc, pt, pc)
+	}
+	if slast.HLTests != plast.HLTests || slast.LLPaths != plast.LLPaths ||
+		slast.Coverage != plast.Coverage || slast.VirtTime != plast.VirtTime {
+		t.Fatalf("last repetition diverged:\n cold serial   %+v\n warm parallel %+v", slast, plast)
+	}
+}

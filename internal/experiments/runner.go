@@ -45,6 +45,14 @@ type Budgets struct {
 	// per-session caches, which additionally guarantees bit-exact
 	// reproducibility across schedules; see solver.QueryCache.
 	Cache *solver.QueryCache
+	// CacheMode selects the cache lookup layers each session's solver uses
+	// (exact only, or exact + subsumption). With private caches either mode is
+	// fully deterministic; see solver.QueryCache for the shared-cache caveat.
+	CacheMode solver.CacheMode
+	// Persist, when non-nil, is a disk-backed store of solved queries shared
+	// by every session. Its read side is fixed before the run starts, so warm
+	// runs remain byte-identical to cold ones; see solver.PersistentStore.
+	Persist *solver.PersistentStore
 	// Metrics, when non-nil, aggregates observability metrics across every
 	// session of the run: each session writes into a private child registry
 	// that is merged into this one when the session finishes (counters and
@@ -121,7 +129,7 @@ func RunPackage(p *packages.Package, cfg Configuration, b Budgets, seed int64) R
 		Strategy:      cfg.Strategy,
 		Seed:          seed,
 		StepLimit:     b.StepLimit,
-		SolverOptions: solver.Options{Cache: b.Cache},
+		SolverOptions: solver.Options{Cache: b.Cache, Mode: b.CacheMode, Persist: b.Persist},
 		Tracer:        b.Tracer,
 		Name:          fmt.Sprintf("%s/%s/%d", p.Name, cfg.Name, seed),
 	}

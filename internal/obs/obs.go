@@ -60,6 +60,16 @@ const (
 	MSolverQueryVirt    = "solver.query.virt"      // histogram: propagations per query
 	MSolverQueryWall    = "solver.query.wall_ns"   // histogram: wall-clock ns per query
 
+	// Per-class decomposition of solver.cache.hits (see solver.HitClass).
+	MSolverCacheHitsExact        = "solver.cache.hits.exact"
+	MSolverCacheHitsSubsumeSat   = "solver.cache.hits.subsume_sat"
+	MSolverCacheHitsSubsumeUnsat = "solver.cache.hits.subsume_unsat"
+	MSolverCacheHitsPersist      = "solver.cache.hits.persist"
+
+	// Persistent counterexample cache (the -cachefile store).
+	MSolverPersistLoaded   = "solver.persist.loaded"   // gauge: entries loaded at startup
+	MSolverPersistAppended = "solver.persist.appended" // counter: entries appended this run
+
 	// CUPA.
 	MCupaSelections   = "cupa.selections"
 	MCupaPicksByClass = "cupa.picks.by_class" // counter vec keyed by top-level class

@@ -97,6 +97,17 @@ func (f *Flags) SetCacheGauges(entries, evictions int64) {
 	f.reg.Gauge(obs.MSolverCacheEvicted).Set(evictions)
 }
 
+// SetPersistStats copies end-of-run persistent-store traffic (entries loaded
+// at startup, entries appended during the run) into the dump-time metrics. A
+// no-op when metrics are disabled.
+func (f *Flags) SetPersistStats(loaded, appended int64) {
+	if f.reg == nil {
+		return
+	}
+	f.reg.Gauge(obs.MSolverPersistLoaded).Set(loaded)
+	f.reg.Counter(obs.MSolverPersistAppended).Add(appended)
+}
+
 // Finish flushes and closes the trace file, prints the text metrics dump to w
 // when -metrics was given, and writes the JSON snapshot when -metrics-json
 // was given. Safe to call when no sink is enabled.

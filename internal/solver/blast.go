@@ -5,23 +5,19 @@ import (
 )
 
 // blaster translates bit-vector expressions into CNF over a satSolver using
-// Tseitin encoding. Expression nodes are cached by structural hash so shared
-// subterms are encoded once.
+// Tseitin encoding. Expression nodes are cached by identity — hash-consing
+// makes structurally equal nodes pointer-identical — so shared subterms are
+// encoded once with a single map probe, no bucket scans or equality walks.
 type blaster struct {
 	sat   *satSolver
-	cache map[uint64][]cacheEnt
+	cache map[*symexpr.Expr][]Lit
 	vars  map[symexpr.Var][]Lit // SAT literals per input-variable bit
 	// litTrue is a literal constrained to be true, used to encode constants.
 	litTrue Lit
 }
 
-type cacheEnt struct {
-	e    *symexpr.Expr
-	bits []Lit
-}
-
 func newBlaster(sat *satSolver) *blaster {
-	b := &blaster{sat: sat, cache: map[uint64][]cacheEnt{}, vars: map[symexpr.Var][]Lit{}}
+	b := &blaster{sat: sat, cache: map[*symexpr.Expr][]Lit{}, vars: map[symexpr.Var][]Lit{}}
 	v := sat.newVar()
 	b.litTrue = mkLit(v, false)
 	sat.addClause([]Lit{b.litTrue})
@@ -159,13 +155,11 @@ func (b *blaster) negate(x []Lit) []Lit {
 
 // blast returns the bit literals (LSB first) of an expression.
 func (b *blaster) blast(e *symexpr.Expr) []Lit {
-	for _, ent := range b.cache[e.Hash()] {
-		if symexpr.Equal(ent.e, e) {
-			return ent.bits
-		}
+	if bits, ok := b.cache[e]; ok {
+		return bits
 	}
 	bits := b.blastUncached(e)
-	b.cache[e.Hash()] = append(b.cache[e.Hash()], cacheEnt{e, bits})
+	b.cache[e] = bits
 	return bits
 }
 

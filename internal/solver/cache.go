@@ -7,26 +7,73 @@ import (
 	"chef/internal/symexpr"
 )
 
+// HitClass labels how a cache lookup was answered, for the per-class obs
+// counters and the harness stats.
+type HitClass uint8
+
+// Hit classes. Exact is a pointer-identical canonical-query match;
+// SubsumeSat reused a satisfying assignment of a subset query that also
+// satisfies the new query (or of a superset query, which satisfies it by
+// construction); SubsumeUnsat derived unsat from a cached unsat subset
+// (supersets of unsat constraint sets are unsat); Persist replayed a result
+// from the disk-backed store.
+const (
+	HitNone HitClass = iota
+	HitExact
+	HitSubsumeSat
+	HitSubsumeUnsat
+	HitPersist
+)
+
+func (h HitClass) String() string {
+	switch h {
+	case HitExact:
+		return "exact"
+	case HitSubsumeSat:
+		return "subsume-sat"
+	case HitSubsumeUnsat:
+		return "subsume-unsat"
+	case HitPersist:
+		return "persist"
+	default:
+		return "none"
+	}
+}
+
 // QueryCache is the solver's counterexample cache, promoted to an explicit
 // type so it can be shared across solvers (and therefore across sessions
 // running on different goroutines). It memoizes the outcome of CNF-level
-// queries — the constraint set that survives constant filtering and
-// independent-constraint slicing — keyed by an order-insensitive hash with
-// exact structural confirmation on each bucket entry.
+// queries — the canonicalized constraint set that survives constant
+// filtering, independent-constraint slicing and Compare-ordering — keyed by
+// an order-sensitive hash over the canonical sequence. Hash-consing makes
+// entry confirmation a pointer-slice comparison.
+//
+// On top of the exact-match layer, the cache maintains a subsumption store
+// (see subsume.go) answering misses KLEE-style: a cached unsat subset proves
+// the new query unsat, and a cached satisfying assignment of a subset (or
+// superset) query is re-validated against the new constraints. Subsumption
+// lookups are opt-in per solver (Options.Mode == CacheSubsume); indexing for
+// them happens on every store, so a shared cache serves solvers in either
+// mode.
 //
 // The cache is sharded: each shard holds its own mutex, map and FIFO eviction
 // queue, so concurrent sessions mostly touch distinct shards. All counters
 // are atomics, safe to read while the cache is in use.
 //
-// Determinism note: a Solver that owns a private QueryCache is fully
-// deterministic. A cache *shared* between concurrently running sessions is
-// still safe and sound (entries record logically valid results), but the
-// model returned for a Sat hit may be one discovered by a different session,
-// so bit-exact reproducibility across schedules is no longer guaranteed.
-// The experiment harness therefore defaults to private caches and offers
-// sharing as an opt-in throughput knob (-sharedcache).
+// Determinism note: queries are solved in canonical constraint order, so the
+// result *and model* of a solved query are a pure function of the constraint
+// set. A Solver that owns a private QueryCache is therefore fully
+// deterministic, and exact-mode hits on a cache *shared* between concurrent
+// sessions return the same bits a private solve would have produced — only
+// the virtual-time cost of a query (solved versus hit for free) still
+// depends on which session got there first, so shared caches remain an
+// opt-in throughput knob (-sharedcache). Subsumption-mode hits additionally
+// depend on which entries exist at lookup time, which is schedule-dependent
+// on a shared cache; with private caches (the default) subsumption is fully
+// deterministic.
 type QueryCache struct {
 	shards [cacheShardCount]cacheShard
+	sub    subsumeStore
 
 	// perShardCap bounds the number of entries per shard; inserting beyond
 	// it evicts the shard's oldest entry (FIFO).
@@ -37,6 +84,10 @@ type QueryCache struct {
 	misses    atomic.Int64
 	stores    atomic.Int64
 	evictions atomic.Int64
+
+	hitExact      atomic.Int64
+	hitSubsumeSat atomic.Int64
+	hitSubsumeUns atomic.Int64
 }
 
 const (
@@ -55,7 +106,9 @@ type cacheShard struct {
 }
 
 // CacheStats is a snapshot of the cache counters. By construction
-// Hits + Misses == Queries at any quiescent point.
+// Hits + Misses == Queries at any quiescent point. The per-class fields
+// decompose Hits (persist-layer hits are counted by the Solver, not here,
+// because the persistent store is not part of the in-memory cache).
 type CacheStats struct {
 	Queries   int64
 	Hits      int64
@@ -63,6 +116,10 @@ type CacheStats struct {
 	Stores    int64
 	Evictions int64
 	Entries   int64
+
+	HitsExact        int64
+	HitsSubsumeSat   int64
+	HitsSubsumeUnsat int64
 }
 
 // NewQueryCache builds a cache bounded to roughly capacity entries
@@ -79,6 +136,7 @@ func NewQueryCache(capacity int) *QueryCache {
 	for i := range c.shards {
 		c.shards[i].m = map[uint64][]cachedQuery{}
 	}
+	c.sub.init(capacity)
 	return c
 }
 
@@ -88,30 +146,69 @@ func (c *QueryCache) shard(key uint64) *cacheShard {
 	return &c.shards[(key^key>>32)%cacheShardCount]
 }
 
-// Lookup returns the memoized result for the query, if present. The returned
-// model is owned by the cache and must not be mutated; callers clone before
-// merging (as Solver.Check does).
-func (c *QueryCache) Lookup(key uint64, constraints []*symexpr.Expr) (Result, symexpr.Assignment, bool) {
+// sameCanon reports equality of two canonicalized constraint slices. Both
+// sides are sorted by symexpr.Compare and interned, so equality is an
+// element-wise pointer comparison.
+func sameCanon(a, b []*symexpr.Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup returns the memoized result for the canonicalized query, if
+// present. The returned model is owned by the cache and must not be mutated;
+// callers clone before merging (as Solver.Check does).
+func (c *QueryCache) Lookup(key uint64, canon []*symexpr.Expr) (Result, symexpr.Assignment, bool) {
 	c.queries.Add(1)
 	sh := c.shard(key)
 	sh.mu.Lock()
 	for _, q := range sh.m[key] {
-		if sameQuery(q.key, constraints) {
+		if sameCanon(q.key, canon) {
 			r, m := q.result, q.model
 			sh.mu.Unlock()
 			c.hits.Add(1)
+			c.hitExact.Add(1)
 			return r, m, true
 		}
 	}
 	sh.mu.Unlock()
-	c.misses.Add(1)
 	return Unknown, nil, false
 }
 
-// Store memoizes a query result. The constraint slice and model are cloned so
-// later mutation by the caller cannot corrupt the cache.
-func (c *QueryCache) Store(key uint64, constraints []*symexpr.Expr, r Result, m symexpr.Assignment) {
-	cs := append([]*symexpr.Expr(nil), constraints...)
+// LookupSubsume tries to answer a query that missed the exact layer by
+// subsumption (see subsume.go). On a hit it returns the derived result, a
+// model valid for the query (Sat only) and the hit class. The caller is
+// expected to Store the derived result under the query's own key so later
+// identical queries take the exact path.
+func (c *QueryCache) LookupSubsume(canon []*symexpr.Expr) (Result, symexpr.Assignment, HitClass) {
+	r, m, class := c.sub.lookup(canon)
+	if class != HitNone {
+		c.hits.Add(1)
+		if class == HitSubsumeSat {
+			c.hitSubsumeSat.Add(1)
+		} else {
+			c.hitSubsumeUns.Add(1)
+		}
+	}
+	return r, m, class
+}
+
+// Miss records that a lookup sequence found no answer at any layer of this
+// cache. (Exact and subsume lookups are separate calls; the solver reports
+// the final verdict so Hits + Misses == Queries holds.)
+func (c *QueryCache) Miss() { c.misses.Add(1) }
+
+// Store memoizes a query result under its canonical key and indexes it for
+// subsumption. The constraint slice and model are cloned so later mutation
+// by the caller cannot corrupt the cache.
+func (c *QueryCache) Store(key uint64, canon []*symexpr.Expr, r Result, m symexpr.Assignment) {
+	cs := append([]*symexpr.Expr(nil), canon...)
 	var mc symexpr.Assignment
 	if m != nil {
 		mc = m.Clone()
@@ -122,7 +219,7 @@ func (c *QueryCache) Store(key uint64, constraints []*symexpr.Expr, r Result, m 
 	// between our miss and this store. Keeping the first entry makes the
 	// cache contents insertion-order independent at the entry level.
 	for _, q := range sh.m[key] {
-		if sameQuery(q.key, constraints) {
+		if sameCanon(q.key, canon) {
 			sh.mu.Unlock()
 			return
 		}
@@ -147,9 +244,14 @@ func (c *QueryCache) Store(key uint64, constraints []*symexpr.Expr, r Result, m 
 	if evicted {
 		c.evictions.Add(1)
 	}
+	// Index for subsumption. The subsume store is bounded independently of
+	// the exact shards: a subsumption entry records a timelessly valid fact
+	// ("this set is unsat" / "this assignment satisfies this set"), so the
+	// two layers never need coherent eviction.
+	c.sub.add(cs, r, mc)
 }
 
-// Len returns the current number of cached entries.
+// Len returns the current number of cached entries (exact layer).
 func (c *QueryCache) Len() int {
 	n := 0
 	for i := range c.shards {
@@ -164,11 +266,14 @@ func (c *QueryCache) Len() int {
 // Stats snapshots the cache counters.
 func (c *QueryCache) Stats() CacheStats {
 	return CacheStats{
-		Queries:   c.queries.Load(),
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Stores:    c.stores.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   int64(c.Len()),
+		Queries:          c.queries.Load(),
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Stores:           c.stores.Load(),
+		Evictions:        c.evictions.Load(),
+		Entries:          int64(c.Len()),
+		HitsExact:        c.hitExact.Load(),
+		HitsSubsumeSat:   c.hitSubsumeSat.Load(),
+		HitsSubsumeUnsat: c.hitSubsumeUns.Load(),
 	}
 }

@@ -41,7 +41,7 @@ func TestQueryCacheConcurrentStress(t *testing.T) {
 			for r := 0; r < rounds; r++ {
 				i := (w + r) % space
 				q := stressQuery(i)
-				key := queryKey(q)
+				key := canonKey(q)
 				if res, m, ok := c.Lookup(key, q); ok {
 					if res != Sat {
 						t.Errorf("query %d: cached result %v, want Sat", i, res)
@@ -59,6 +59,7 @@ func TestQueryCacheConcurrentStress(t *testing.T) {
 						}
 					}
 				} else {
+					c.Miss()
 					c.Store(key, q, Sat, stressModel(i))
 				}
 			}
@@ -94,7 +95,7 @@ func TestQueryCacheEviction(t *testing.T) {
 	const n = 10 * capacity
 	for i := 0; i < n; i++ {
 		q := stressQuery(i)
-		c.Store(queryKey(q), q, Unsat, nil)
+		c.Store(canonKey(q), q, Unsat, nil)
 	}
 	s := c.Stats()
 	if s.Entries > int64(capacity) {
@@ -112,7 +113,7 @@ func TestQueryCacheEviction(t *testing.T) {
 	hit := false
 	for i := n - capacity; i < n; i++ {
 		q := stressQuery(i)
-		if _, _, ok := c.Lookup(queryKey(q), q); ok {
+		if _, _, ok := c.Lookup(canonKey(q), q); ok {
 			hit = true
 			break
 		}

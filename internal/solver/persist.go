@@ -1,0 +1,423 @@
+package solver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chef/internal/symexpr"
+)
+
+// Persistent counterexample cache: an append-only binary log of solved
+// canonical queries, reloaded at startup so a later process starts warm.
+//
+// The store is deliberately asymmetric:
+//
+//   - The *read side* is immutable after load. Lookups only ever see what the
+//     previous run left on disk, never entries appended during this run (the
+//     in-memory QueryCache already serves those). This is what makes a warm
+//     rerun reproduce a cold run byte-for-byte: the set of answerable
+//     persistent lookups is fixed before the run starts, so it cannot depend
+//     on scheduling.
+//   - The *write side* records only queries this run actually solved — never
+//     results derived by subsumption, which could disagree (different model,
+//     same key) with what a cold solve produces.
+//
+// Each entry stores the canonical constraint sequence, the result, the model
+// (Sat only) and the SAT propagation count the solve cost. A hit replays that
+// cost into the solver's stats, so the virtual clock — and therefore every
+// scheduling decision downstream — advances exactly as on a cold run. The
+// store buys wall-clock time only.
+//
+// On-disk format (all integers little-endian or uvarint):
+//
+//	magic "CHEFCXC1"
+//	repeat: [u32 payload len][payload][u32 crc32(payload)]
+//	payload: result byte (1=sat 2=unsat)
+//	         cost uvarint
+//	         #constraints uvarint, each a symexpr encoding (width 1)
+//	         #model vars uvarint, each a var encoding followed by val uvarint
+//
+// Corruption tolerance: loading stops at the first bad frame (bad magic,
+// truncated frame, CRC mismatch, malformed payload). The valid prefix stays
+// usable for lookups; appending is disabled so the file is never extended
+// past garbage (records after a bad frame would be unreachable anyway). A
+// corrupt or empty cache file therefore degrades to a cold cache, never an
+// error the engine sees.
+
+// persistMagic identifies format version 1.
+const persistMagic = "CHEFCXC1"
+
+// maxPersistRecord caps one record's payload so a corrupted length field
+// cannot trigger a huge allocation.
+const maxPersistRecord = 1 << 24
+
+// maxPersistConstraints caps the constraint count of one decoded entry.
+const maxPersistConstraints = 1 << 16
+
+// persistFlushInterval is the background flusher's period.
+const persistFlushInterval = 200 * time.Millisecond
+
+type persistEntry struct {
+	canon  []*symexpr.Expr
+	result Result
+	model  symexpr.Assignment
+	cost   int64
+}
+
+// PersistentStore is the disk-backed layer of the counterexample cache. It is
+// safe for concurrent use by many solvers (the parallel harness shares one
+// store across sessions).
+type PersistentStore struct {
+	path string
+
+	// entries is immutable after OpenPersistentStore returns; lookups read it
+	// without locking. Models are owned by the store — callers clone.
+	entries map[uint64][]persistEntry
+	loaded  int
+	corrupt error // non-nil: loading stopped early; appends disabled
+
+	mu       sync.Mutex
+	f        *os.File
+	pending  []byte
+	appended map[uint64]bool // keys queued for append this run
+	writeErr error
+	closed   bool
+
+	appendedN atomic.Int64
+
+	flushCh chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// OpenPersistentStore opens (creating if absent) the cache file at path and
+// loads every valid record. The returned error covers I/O failures only;
+// content corruption is reported by Corruption and degrades to a partial or
+// empty — but always usable — store.
+func OpenPersistentStore(path string) (*PersistentStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	p := &PersistentStore{
+		path:     path,
+		entries:  map[uint64][]persistEntry{},
+		f:        f,
+		appended: map[uint64]bool{},
+		flushCh:  make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	switch {
+	case len(data) == 0:
+		// Fresh file: stamp the header now so a run that stores nothing still
+		// leaves a well-formed file behind.
+		if _, err := f.Write([]byte(persistMagic)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	case len(data) < len(persistMagic) || string(data[:len(persistMagic)]) != persistMagic:
+		p.corrupt = fmt.Errorf("solver: cache file %s: bad magic", path)
+	default:
+		p.load(data[len(persistMagic):])
+	}
+	if p.corrupt != nil {
+		// Never extend a corrupt file; keep it open read-only in spirit.
+		f.Close()
+		p.f = nil
+	}
+	p.wg.Add(1)
+	go p.flushLoop()
+	return p, nil
+}
+
+// load parses records until the data ends or a frame fails validation.
+func (p *PersistentStore) load(data []byte) {
+	pos := 0
+	for pos < len(data) {
+		if len(data)-pos < 4 {
+			p.corrupt = fmt.Errorf("solver: cache file %s: truncated frame header", p.path)
+			return
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos:]))
+		if n <= 0 || n > maxPersistRecord {
+			p.corrupt = fmt.Errorf("solver: cache file %s: bad record length %d", p.path, n)
+			return
+		}
+		if len(data)-pos < 4+n+4 {
+			p.corrupt = fmt.Errorf("solver: cache file %s: truncated record", p.path)
+			return
+		}
+		payload := data[pos+4 : pos+4+n]
+		crc := binary.LittleEndian.Uint32(data[pos+4+n:])
+		if crc32.ChecksumIEEE(payload) != crc {
+			p.corrupt = fmt.Errorf("solver: cache file %s: checksum mismatch", p.path)
+			return
+		}
+		e, err := decodePersistEntry(payload)
+		if err != nil {
+			p.corrupt = fmt.Errorf("solver: cache file %s: %v", p.path, err)
+			return
+		}
+		key := canonKey(e.canon)
+		dup := false
+		for _, have := range p.entries[key] {
+			if sameCanon(have.canon, e.canon) {
+				dup = true // first entry wins, matching the in-memory cache
+				break
+			}
+		}
+		if !dup {
+			p.entries[key] = append(p.entries[key], e)
+			p.loaded++
+		}
+		pos += 4 + n + 4
+	}
+}
+
+// Loaded returns the number of entries loaded at startup.
+func (p *PersistentStore) Loaded() int { return p.loaded }
+
+// Appended returns the number of entries appended (queued or written) during
+// this run.
+func (p *PersistentStore) Appended() int64 { return p.appendedN.Load() }
+
+// Corruption returns the load error that stopped record parsing, or nil if
+// the whole file parsed. A corrupt store still serves the valid prefix.
+func (p *PersistentStore) Corruption() error { return p.corrupt }
+
+// Lookup returns the stored result for the canonical query, confirming the
+// candidate entries pointer-wise (decoded expressions are re-interned, so
+// equality is pointer identity). The returned model is owned by the store;
+// callers clone before mutating. cost is the recorded propagation count of
+// the original solve.
+func (p *PersistentStore) Lookup(key uint64, canon []*symexpr.Expr) (Result, symexpr.Assignment, int64, bool) {
+	for _, e := range p.entries[key] {
+		if sameCanon(e.canon, canon) {
+			return e.result, e.model, e.cost, true
+		}
+	}
+	return Unknown, nil, 0, false
+}
+
+// Append queues a solved query for the background flusher. Results derived
+// from other cache layers must not be appended (the solver only appends after
+// an actual solveCNF call). Appends never become visible to this process's
+// lookups; they exist for the next run.
+func (p *PersistentStore) Append(key uint64, canon []*symexpr.Expr, r Result, m symexpr.Assignment, cost int64) {
+	if r == Unknown || len(canon) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f == nil || p.closed || p.writeErr != nil || p.appended[key] {
+		return
+	}
+	if onDisk, ok := p.entries[key]; ok {
+		already := false
+		for _, e := range onDisk {
+			if sameCanon(e.canon, canon) {
+				already = true
+				break
+			}
+		}
+		if already {
+			return
+		}
+	}
+	p.appended[key] = true
+	payload := encodePersistEntry(canon, r, m, cost)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(payload)))
+	p.pending = append(p.pending, u32[:]...)
+	p.pending = append(p.pending, payload...)
+	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(payload))
+	p.pending = append(p.pending, u32[:]...)
+	p.appendedN.Add(1)
+	select {
+	case p.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+func (p *PersistentStore) flushLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(persistFlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-p.flushCh:
+		case <-t.C:
+		}
+		p.flush()
+	}
+}
+
+// flush writes the pending buffer. Frames are written whole (the buffer only
+// ever contains complete frames), so a crash mid-run leaves at worst a
+// truncated final frame, which the next load treats as the end of the file.
+func (p *PersistentStore) flush() {
+	p.mu.Lock()
+	buf := p.pending
+	p.pending = nil
+	f := p.f
+	p.mu.Unlock()
+	if len(buf) == 0 || f == nil {
+		return
+	}
+	if _, err := f.Write(buf); err != nil {
+		p.mu.Lock()
+		p.writeErr = err
+		p.mu.Unlock()
+	}
+}
+
+// Close stops the flusher, writes any pending entries and closes the file.
+// It is idempotent.
+func (p *PersistentStore) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.done)
+	p.wg.Wait()
+	p.flush()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	err := p.writeErr
+	if p.f != nil {
+		if cerr := p.f.Close(); err == nil {
+			err = cerr
+		}
+		p.f = nil
+	}
+	return err
+}
+
+// encodePersistEntry serializes one record payload. Model variables are
+// written in a deterministic order so identical runs produce identical files.
+func encodePersistEntry(canon []*symexpr.Expr, r Result, m symexpr.Assignment, cost int64) []byte {
+	out := []byte{byte(r)}
+	out = binary.AppendUvarint(out, uint64(cost))
+	out = binary.AppendUvarint(out, uint64(len(canon)))
+	for _, c := range canon {
+		out = symexpr.AppendExpr(out, c)
+	}
+	if r != Sat || m == nil {
+		return binary.AppendUvarint(out, 0)
+	}
+	vars := make([]symexpr.Var, 0, len(m))
+	for v := range m {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		a, b := vars[i], vars[j]
+		if a.Buf != b.Buf {
+			return a.Buf < b.Buf
+		}
+		if a.Idx != b.Idx {
+			return a.Idx < b.Idx
+		}
+		return a.W < b.W
+	})
+	out = binary.AppendUvarint(out, uint64(len(vars)))
+	for _, v := range vars {
+		out = symexpr.AppendExpr(out, symexpr.NewVar(v))
+		out = binary.AppendUvarint(out, m[v]&v.W.Mask())
+	}
+	return out
+}
+
+// decodePersistEntry parses and validates one record payload. Every
+// structural property the writer guarantees is checked, so hostile bytes
+// yield an error, never a malformed entry.
+func decodePersistEntry(payload []byte) (persistEntry, error) {
+	var e persistEntry
+	if len(payload) == 0 {
+		return e, fmt.Errorf("empty record")
+	}
+	switch Result(payload[0]) {
+	case Sat, Unsat:
+		e.result = Result(payload[0])
+	default:
+		return e, fmt.Errorf("bad result tag %d", payload[0])
+	}
+	pos := 1
+	cost, n := binary.Uvarint(payload[pos:])
+	if n <= 0 || cost > 1<<62 {
+		return e, fmt.Errorf("bad cost field")
+	}
+	e.cost = int64(cost)
+	pos += n
+	ncons, n := binary.Uvarint(payload[pos:])
+	if n <= 0 || ncons == 0 || ncons > maxPersistConstraints {
+		return e, fmt.Errorf("bad constraint count")
+	}
+	pos += n
+	e.canon = make([]*symexpr.Expr, 0, ncons)
+	for i := uint64(0); i < ncons; i++ {
+		c, used, err := symexpr.DecodeExpr(payload[pos:])
+		if err != nil {
+			return e, err
+		}
+		if c.Width() != symexpr.W1 {
+			return e, fmt.Errorf("constraint of width %d", c.Width())
+		}
+		e.canon = append(e.canon, c)
+		pos += used
+	}
+	nm, n := binary.Uvarint(payload[pos:])
+	if n <= 0 || nm > maxPersistConstraints {
+		return e, fmt.Errorf("bad model count")
+	}
+	pos += n
+	if e.result == Unsat && nm != 0 {
+		return e, fmt.Errorf("model on unsat record")
+	}
+	if e.result == Sat {
+		e.model = symexpr.Assignment{}
+	}
+	for i := uint64(0); i < nm; i++ {
+		ve, used, err := symexpr.DecodeExpr(payload[pos:])
+		if err != nil {
+			return e, err
+		}
+		if !ve.IsVar() {
+			return e, fmt.Errorf("model key is not a variable")
+		}
+		pos += used
+		val, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return e, fmt.Errorf("bad model value")
+		}
+		pos += n
+		v := ve.VarRef()
+		if val&^v.W.Mask() != 0 {
+			return e, fmt.Errorf("model value %d exceeds width %d", val, v.W)
+		}
+		if _, dup := e.model[v]; dup {
+			return e, fmt.Errorf("duplicate model variable")
+		}
+		e.model[v] = val
+	}
+	if pos != len(payload) {
+		return e, fmt.Errorf("trailing bytes in record")
+	}
+	return e, nil
+}

@@ -31,6 +31,37 @@ func (r Result) String() string {
 	}
 }
 
+// CacheMode selects which lookup layers of the counterexample cache a solver
+// consults. Indexing for subsumption happens on every Store regardless of
+// mode, so a shared QueryCache can serve solvers in either mode.
+type CacheMode uint8
+
+// Cache modes. CacheExact answers only pointer-identical canonical queries;
+// CacheSubsume additionally derives answers from cached subset/superset
+// queries (see subsume.go).
+const (
+	CacheExact CacheMode = iota
+	CacheSubsume
+)
+
+func (m CacheMode) String() string {
+	if m == CacheSubsume {
+		return "subsume"
+	}
+	return "exact"
+}
+
+// ParseCacheMode maps the -cachemode flag spellings to a CacheMode.
+func ParseCacheMode(s string) (CacheMode, bool) {
+	switch s {
+	case "exact", "":
+		return CacheExact, true
+	case "subsume":
+		return CacheSubsume, true
+	}
+	return CacheExact, false
+}
+
 // Options configure the solver front end. The zero value enables every
 // optimization with an effectively unlimited budget.
 type Options struct {
@@ -38,6 +69,8 @@ type Options struct {
 	DisableSlicing bool
 	// DisableCache turns off the query cache.
 	DisableCache bool
+	// Mode selects the cache lookup layers (exact only, or exact+subsume).
+	Mode CacheMode
 	// PropBudget caps SAT propagations per query; 0 means the default cap.
 	PropBudget int64
 	// Cache, when non-nil, is used as the counterexample cache instead of a
@@ -45,6 +78,13 @@ type Options struct {
 	// reuse. See the QueryCache determinism note before sharing one between
 	// concurrent sessions.
 	Cache *QueryCache
+	// Persist, when non-nil, is a disk-backed store of solved queries (see
+	// persist.go). It is consulted after the in-memory layers miss, and every
+	// freshly *solved* (never derived) result is appended to it. A persistent
+	// hit replays the recorded propagation cost into the solver's stats, so a
+	// warm rerun spends the same virtual time a cold run would — the store
+	// accelerates wall clock without perturbing deterministic output.
+	Persist *PersistentStore
 	// Metrics, when non-nil, receives per-query counters and latency
 	// histograms (virtual propagations and wall-clock ns). Wall clock is read
 	// only when observability is enabled and never enters solver results, so
@@ -70,6 +110,12 @@ type Stats struct {
 	Propagations int64
 	Conflicts    int64
 	ClausesAdded int64
+
+	// Per-class decomposition of CacheHits.
+	CacheHitsExact        int64
+	CacheHitsSubsumeSat   int64
+	CacheHitsSubsumeUnsat int64
+	CacheHitsPersist      int64
 }
 
 // Add folds another snapshot into s, field by field. It is the merge helper
@@ -84,6 +130,10 @@ func (s *Stats) Add(o Stats) {
 	s.Propagations += o.Propagations
 	s.Conflicts += o.Conflicts
 	s.ClausesAdded += o.ClausesAdded
+	s.CacheHitsExact += o.CacheHitsExact
+	s.CacheHitsSubsumeSat += o.CacheHitsSubsumeSat
+	s.CacheHitsSubsumeUnsat += o.CacheHitsSubsumeUnsat
+	s.CacheHitsPersist += o.CacheHitsPersist
 }
 
 // Solver decides conjunctions of width-1 bit-vector expressions.
@@ -95,17 +145,21 @@ type Solver struct {
 	cache *QueryCache // nil iff DisableCache and no shared cache given
 
 	// Observability (all nil when disabled).
-	tracer    obs.Tracer
-	now       func() int64 // virtual clock source for trace events
-	mQueries  *obs.Counter
-	mSat      *obs.Counter
-	mUnsat    *obs.Counter
-	mUnknown  *obs.Counter
-	mHits     *obs.Counter
-	mMisses   *obs.Counter
-	hVirt     *obs.Histogram
-	hWall     *obs.Histogram
-	observing bool
+	tracer     obs.Tracer
+	now        func() int64 // virtual clock source for trace events
+	mQueries   *obs.Counter
+	mSat       *obs.Counter
+	mUnsat     *obs.Counter
+	mUnknown   *obs.Counter
+	mHits      *obs.Counter
+	mMisses    *obs.Counter
+	mHitsExact *obs.Counter
+	mHitsSubS  *obs.Counter
+	mHitsSubU  *obs.Counter
+	mHitsPers  *obs.Counter
+	hVirt      *obs.Histogram
+	hWall      *obs.Histogram
+	observing  bool
 }
 
 type cachedQuery struct {
@@ -133,6 +187,10 @@ func New(opts Options) *Solver {
 		s.mUnknown = reg.Counter(obs.MSolverUnknown)
 		s.mHits = reg.Counter(obs.MSolverCacheHits)
 		s.mMisses = reg.Counter(obs.MSolverCacheMisses)
+		s.mHitsExact = reg.Counter(obs.MSolverCacheHitsExact)
+		s.mHitsSubS = reg.Counter(obs.MSolverCacheHitsSubsumeSat)
+		s.mHitsSubU = reg.Counter(obs.MSolverCacheHitsSubsumeUnsat)
+		s.mHitsPers = reg.Counter(obs.MSolverCacheHitsPersist)
 		s.hVirt = reg.Histogram(obs.MSolverQueryVirt)
 		s.hWall = reg.Histogram(obs.MSolverQueryWall)
 	}
@@ -171,13 +229,12 @@ func (s *Solver) Check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 		return s.check(pc, base)
 	}
 	propsBefore := s.stats.Propagations
-	hitsBefore := s.stats.CacheHits
-	missesBefore := s.stats.CacheMisses
+	before := s.stats
 	start := time.Now()
 	res, model := s.check(pc, base)
 	virt := s.stats.Propagations - propsBefore
 	wall := time.Since(start).Nanoseconds()
-	cacheHit := s.stats.CacheHits > hitsBefore
+	cacheHit := s.stats.CacheHits > before.CacheHits
 	if s.mQueries != nil {
 		s.mQueries.Inc()
 		switch res {
@@ -190,7 +247,17 @@ func (s *Solver) Check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 		}
 		if cacheHit {
 			s.mHits.Inc()
-		} else if s.stats.CacheMisses > missesBefore {
+			switch {
+			case s.stats.CacheHitsExact > before.CacheHitsExact:
+				s.mHitsExact.Inc()
+			case s.stats.CacheHitsSubsumeSat > before.CacheHitsSubsumeSat:
+				s.mHitsSubS.Inc()
+			case s.stats.CacheHitsSubsumeUnsat > before.CacheHitsSubsumeUnsat:
+				s.mHitsSubU.Inc()
+			case s.stats.CacheHitsPersist > before.CacheHitsPersist:
+				s.mHitsPers.Inc()
+			}
+		} else if s.stats.CacheMisses > before.CacheMisses {
 			s.mMisses.Inc()
 		}
 		s.hVirt.Observe(virt)
@@ -245,22 +312,82 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 		}
 	}
 
-	key := queryKey(toSolve)
+	// Canonicalize: sort by the process-independent structural order and
+	// dedup. The SAT core sees the canonical sequence, so the result *and
+	// model* are a pure function of the constraint set — the property every
+	// cache layer (exact, subsume, persistent) relies on.
+	canon := canonicalize(toSolve)
+	key := canonKey(canon)
+
 	if s.cache != nil {
-		if r, m, ok := s.cache.Lookup(key, toSolve); ok {
+		if r, m, ok := s.cache.Lookup(key, canon); ok {
 			s.stats.CacheHits++
+			s.stats.CacheHitsExact++
 			if r == Sat {
 				// Clone: merge must never mutate the cached model.
 				return Sat, merge(m.Clone(), kept)
 			}
 			return r, nil
 		}
+		if s.opts.Mode == CacheSubsume {
+			if r, m, class := s.cache.LookupSubsume(canon); class != HitNone {
+				s.stats.CacheHits++
+				if class == HitSubsumeSat {
+					s.stats.CacheHitsSubsumeSat++
+				} else {
+					s.stats.CacheHitsSubsumeUnsat++
+				}
+				// Promote the derived result to the exact layer so later
+				// identical queries take the cheap path. Derived results are
+				// never persisted (see below), only re-memoized in memory.
+				s.cache.Store(key, canon, r, m)
+				if r == Sat {
+					return Sat, merge(m, kept) // m is freshly allocated
+				}
+				return r, nil
+			}
+		}
+		s.cache.Miss()
+	}
+
+	if s.opts.Persist != nil {
+		if r, m, cost, ok := s.opts.Persist.Lookup(key, canon); ok {
+			// Replay the recorded solve cost so the virtual clock advances
+			// exactly as on a cold run, and count the query as solved so warm
+			// and cold runs agree on every stat except the hit counters. The
+			// wall-clock solve is the only thing a persistent hit elides.
+			s.stats.CacheHits++
+			s.stats.CacheHitsPersist++
+			s.stats.Propagations += cost
+			if s.cache != nil {
+				s.cache.Store(key, canon, r, m)
+			}
+			if r == Sat {
+				s.stats.SatQueries++
+				return Sat, merge(m.Clone(), kept)
+			}
+			s.stats.UnsatQueries++
+			return Unsat, nil
+		}
+	}
+	if s.cache != nil || s.opts.Persist != nil {
 		s.stats.CacheMisses++
 	}
 
-	res, model := s.solveCNF(toSolve)
-	if s.cache != nil && res != Unknown {
-		s.cache.Store(key, toSolve, res, model)
+	propsBefore := s.stats.Propagations
+	res, model := s.solveCNF(canon)
+	cost := s.stats.Propagations - propsBefore
+	if res != Unknown {
+		if s.cache != nil {
+			s.cache.Store(key, canon, res, model)
+		}
+		if s.opts.Persist != nil {
+			// Only actually-solved results enter the persistent store: a
+			// subsume-derived entry could answer differently from the solve a
+			// cold run performs (different model for the same key), breaking
+			// warm/cold equivalence.
+			s.opts.Persist.Append(key, canon, res, model, cost)
+		}
 	}
 	switch res {
 	case Sat:
@@ -273,6 +400,37 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 		s.stats.Unknowns++
 		return Unknown, nil
 	}
+}
+
+// canonicalize sorts the constraint slice by symexpr.Compare — a structural,
+// process-independent total order — and drops duplicates (pointer-equal after
+// interning). The slice is modified in place; check always passes a freshly
+// allocated slice.
+func canonicalize(cs []*symexpr.Expr) []*symexpr.Expr {
+	sort.Slice(cs, func(i, j int) bool { return symexpr.Compare(cs[i], cs[j]) < 0 })
+	out := cs[:0]
+	var prev *symexpr.Expr
+	for _, c := range cs {
+		if c == prev {
+			continue
+		}
+		prev = c
+		out = append(out, c)
+	}
+	return out
+}
+
+// canonKey hashes the canonical constraint sequence. Order-sensitive is fine
+// (the sequence is canonical), and the structural per-node hashes make the
+// key process-independent, so it doubles as the persistent store's index key.
+func canonKey(canon []*symexpr.Expr) uint64 {
+	var h uint64 = 0x1234_5678_9abc_def0
+	for _, c := range canon {
+		h ^= c.Hash()
+		h *= 0x9e3779b97f4a7c15
+		h ^= h >> 29
+	}
+	return h
 }
 
 func merge(into, from symexpr.Assignment) symexpr.Assignment {
@@ -392,33 +550,6 @@ func slice(pc []*symexpr.Expr, base symexpr.Assignment) ([]*symexpr.Expr, symexp
 		}
 	}
 	return unsatisfied, kept
-}
-
-func queryKey(constraints []*symexpr.Expr) uint64 {
-	// Order-insensitive combination so logically identical queries hit.
-	var h uint64 = 0x1234_5678_9abc_def0
-	for _, c := range constraints {
-		h ^= c.Hash() * 0x9e3779b97f4a7c15
-	}
-	return h
-}
-
-func sameQuery(a, b []*symexpr.Expr) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	used := make([]bool, len(b))
-outer:
-	for _, x := range a {
-		for j, y := range b {
-			if !used[j] && symexpr.Equal(x, y) {
-				used[j] = true
-				continue outer
-			}
-		}
-		return false
-	}
-	return true
 }
 
 // Maximize returns the largest value e can take subject to pc, found by

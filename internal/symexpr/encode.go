@@ -1,0 +1,253 @@
+package symexpr
+
+import (
+	bin "encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary expression codec.
+//
+// The persistent counterexample cache (internal/solver) stores canonicalized
+// queries on disk and must reload them in a later process, where interning
+// IDs differ. Expressions are therefore serialized structurally, and decoding
+// rebuilds nodes through the interner *without* re-running constructor
+// simplifications: stored expressions already came out of the constructors,
+// and re-simplifying on load could silently change them whenever a rewrite
+// rule evolves, breaking the pointer-exact match the cache depends on. A
+// decoded expression that no longer matches anything the current engine
+// builds is merely a dead cache entry, never an error.
+//
+// Decoding validates every structural invariant the constructors enforce
+// (widths, arities, operand-width agreement), so a corrupted or adversarial
+// byte stream yields an error, never a malformed Expr or a panic.
+
+// Encoding tags.
+const (
+	encConst byte = 0
+	encVar   byte = 1
+	encNode  byte = 2
+)
+
+// maxDecodeDepth bounds expression nesting during decoding so hostile inputs
+// cannot overflow the stack.
+const maxDecodeDepth = 4096
+
+// maxVarName bounds decoded variable-name lengths.
+const maxVarName = 1 << 12
+
+// AppendExpr appends the binary encoding of e to dst and returns the
+// extended slice. The encoding is a preorder walk; shared subtrees are
+// re-encoded (queries stored by the cache are small after slicing and
+// canonicalization, so tree-expansion blowup is not a concern at this
+// layer).
+func AppendExpr(dst []byte, e *Expr) []byte {
+	switch {
+	case e.IsConst():
+		dst = append(dst, encConst, byte(e.w))
+		dst = bin.AppendUvarint(dst, e.val)
+	case e.IsVar():
+		dst = append(dst, encVar, byte(e.w))
+		dst = bin.AppendUvarint(dst, uint64(len(e.varr.Buf)))
+		dst = append(dst, e.varr.Buf...)
+		dst = bin.AppendUvarint(dst, uint64(e.varr.Idx))
+	default:
+		dst = append(dst, encNode, byte(e.op), byte(e.w), byte(len(e.kids)))
+		for _, k := range e.kids {
+			dst = AppendExpr(dst, k)
+		}
+	}
+	return dst
+}
+
+// DecodeExpr decodes one expression from the front of data, returning the
+// interned expression and the number of bytes consumed. The returned
+// expression is canonical: pointer-identical to any structurally equal
+// expression built by the constructors in this process.
+func DecodeExpr(data []byte) (*Expr, int, error) {
+	d := decoder{data: data}
+	e, err := d.expr(0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return e, d.pos, nil
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+var errTruncated = errors.New("symexpr: truncated expression encoding")
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, errTruncated
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := bin.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.pos += n
+	return v, nil
+}
+
+func validWidth(b byte) (Width, bool) {
+	switch Width(b) {
+	case W1, W8, W16, W32, W64:
+		return Width(b), true
+	}
+	return 0, false
+}
+
+func (d *decoder) expr(depth int) (*Expr, error) {
+	if depth > maxDecodeDepth {
+		return nil, errors.New("symexpr: expression nesting too deep")
+	}
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case encConst:
+		wb, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		w, ok := validWidth(wb)
+		if !ok {
+			return nil, fmt.Errorf("symexpr: bad width %d", wb)
+		}
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if v&^w.Mask() != 0 {
+			return nil, fmt.Errorf("symexpr: constant %d exceeds width %d", v, w)
+		}
+		return newConst(v, w), nil
+
+	case encVar:
+		wb, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		w, ok := validWidth(wb)
+		if !ok {
+			return nil, fmt.Errorf("symexpr: bad width %d", wb)
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxVarName || d.pos+int(n) > len(d.data) {
+			return nil, errTruncated
+		}
+		buf := string(d.data[d.pos : d.pos+int(n)])
+		d.pos += int(n)
+		idx, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if idx > 1<<31 {
+			return nil, fmt.Errorf("symexpr: variable index %d out of range", idx)
+		}
+		return NewVar(Var{Buf: buf, Idx: int(idx), W: w}), nil
+
+	case encNode:
+		opb, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		wb, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		w, ok := validWidth(wb)
+		if !ok {
+			return nil, fmt.Errorf("symexpr: bad width %d", wb)
+		}
+		nk, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		op := Op(opb)
+		kids := make([]*Expr, 0, nk)
+		for i := 0; i < int(nk); i++ {
+			k, err := d.expr(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, k)
+		}
+		if err := checkNode(op, w, kids); err != nil {
+			return nil, err
+		}
+		return newNode(op, w, kids...), nil
+	}
+	return nil, fmt.Errorf("symexpr: bad encoding tag %d", tag)
+}
+
+// checkNode enforces the structural invariants the public constructors
+// guarantee, so decoded nodes are indistinguishable from built ones.
+func checkNode(op Op, w Width, kids []*Expr) error {
+	arity := func(n int) error {
+		if len(kids) != n {
+			return fmt.Errorf("symexpr: op %s wants %d operands, got %d", op, n, len(kids))
+		}
+		return nil
+	}
+	switch op {
+	case OpAdd, OpSub, OpMul, OpUDiv, OpURem, OpAnd, OpOr, OpXor, OpShl, OpLShr:
+		if err := arity(2); err != nil {
+			return err
+		}
+		if kids[0].w != kids[1].w || kids[0].w != w {
+			return fmt.Errorf("symexpr: op %s width mismatch", op)
+		}
+	case OpEq, OpUlt, OpUle, OpSlt, OpSle:
+		if err := arity(2); err != nil {
+			return err
+		}
+		if kids[0].w != kids[1].w || w != W1 {
+			return fmt.Errorf("symexpr: op %s width mismatch", op)
+		}
+	case OpNot, OpNeg:
+		if err := arity(1); err != nil {
+			return err
+		}
+		if kids[0].w != w {
+			return fmt.Errorf("symexpr: op %s width mismatch", op)
+		}
+	case OpZExt, OpSExt:
+		if err := arity(1); err != nil {
+			return err
+		}
+		if kids[0].w >= w {
+			return fmt.Errorf("symexpr: %s to non-wider width", op)
+		}
+	case OpTrunc:
+		if err := arity(1); err != nil {
+			return err
+		}
+		if kids[0].w <= w {
+			return fmt.Errorf("symexpr: trunc to non-narrower width")
+		}
+	case OpIte:
+		if err := arity(3); err != nil {
+			return err
+		}
+		if kids[0].w != W1 || kids[1].w != kids[2].w || kids[1].w != w {
+			return fmt.Errorf("symexpr: ite width mismatch")
+		}
+	default:
+		return fmt.Errorf("symexpr: bad op %d", uint8(op))
+	}
+	return nil
+}

@@ -108,7 +108,10 @@ type Var struct {
 func (v Var) String() string { return fmt.Sprintf("%s[%d]:%d", v.Buf, v.Idx, v.W) }
 
 // Expr is a node in the expression DAG. Expr values are immutable after
-// construction; the precomputed hash enables cheap structural comparison.
+// construction and hash-consed: every constructor routes through the
+// per-process interner (see intern.go), so structurally equal expressions
+// are pointer-identical, Equal is O(1), and the precomputed per-node hash
+// and interning ID serve as cheap cache keys.
 type Expr struct {
 	op   Op
 	w    Width
@@ -116,8 +119,9 @@ type Expr struct {
 	varr *Var   // variable (non-nil iff this is a leaf variable)
 	kids []*Expr
 	hash uint64
-	size int32 // number of nodes in the DAG view (upper bound; shared nodes recounted)
-	syms bool  // contains at least one variable
+	id   uint64 // process-unique interning ID (see Expr.ID)
+	size int32  // number of nodes in the DAG view (upper bound; shared nodes recounted)
+	syms bool   // contains at least one variable
 }
 
 // Width returns the bit width of the expression.
@@ -180,7 +184,7 @@ func mix(h, v uint64) uint64 {
 
 func newConst(v uint64, w Width) *Expr {
 	v &= w.Mask()
-	return &Expr{w: w, val: v, hash: mix(hashSeed^uint64(w), v), size: 1}
+	return intern(&Expr{w: w, val: v, hash: mix(hashSeed^uint64(w), v), size: 1})
 }
 
 // Const builds a constant of width w; the value is masked to the width.
@@ -209,7 +213,7 @@ func NewVar(v Var) *Expr {
 	h = mix(h, uint64(v.Idx))
 	h = mix(h, uint64(v.W))
 	vv := v
-	return &Expr{w: v.W, varr: &vv, hash: h, size: 1, syms: true}
+	return intern(&Expr{w: v.W, varr: &vv, hash: h, size: 1, syms: true})
 }
 
 func newNode(op Op, w Width, kids ...*Expr) *Expr {
@@ -224,34 +228,13 @@ func newNode(op Op, w Width, kids ...*Expr) *Expr {
 	if sz > 1<<28 {
 		sz = 1 << 28
 	}
-	return &Expr{op: op, w: w, kids: kids, hash: h, size: sz, syms: syms}
+	return intern(&Expr{op: op, w: w, kids: kids, hash: h, size: sz, syms: syms})
 }
 
-// Equal reports structural equality. The hash check makes the common negative
-// case O(1); the recursive walk confirms positives.
-func Equal(a, b *Expr) bool {
-	if a == b {
-		return true
-	}
-	if a == nil || b == nil || a.hash != b.hash || a.op != b.op || a.w != b.w {
-		return false
-	}
-	if a.op == OpInvalid {
-		if a.varr != nil || b.varr != nil {
-			return a.varr != nil && b.varr != nil && *a.varr == *b.varr
-		}
-		return a.val == b.val
-	}
-	if len(a.kids) != len(b.kids) {
-		return false
-	}
-	for i := range a.kids {
-		if !Equal(a.kids[i], b.kids[i]) {
-			return false
-		}
-	}
-	return true
-}
+// Equal reports structural equality. Hash-consing makes structural equality
+// coincide with pointer identity, so this is a single comparison — no hash
+// checks, no DAG walks.
+func Equal(a, b *Expr) bool { return a == b }
 
 // String renders the expression as an s-expression.
 func (e *Expr) String() string {

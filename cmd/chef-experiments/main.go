@@ -17,6 +17,7 @@ import (
 
 	"chef/internal/dedicated"
 	"chef/internal/experiments"
+	"chef/internal/faults"
 	"chef/internal/minipy"
 	"chef/internal/obscli"
 	"chef/internal/packages"
@@ -37,6 +38,7 @@ func main() {
 		cmode    = flag.String("cachemode", "exact", "counterexample cache lookup layers: exact | subsume")
 		cfile    = flag.String("cachefile", "", "persistent counterexample cache: load solved queries from this file at startup, append new ones")
 		stats    = flag.Bool("stats", false, "print harness statistics (sessions, solver queries, cache hits/misses) after each experiment")
+		fspec    = flag.String("faults", "", "deterministic fault-injection plan, e.g. 'seed=7;solver.unknown:p=0.05;worker.stall:session=2' (see docs/ROBUSTNESS.md)")
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -58,6 +60,12 @@ func main() {
 		os.Exit(1)
 	}
 	b.CacheMode = mode
+	plan, err := faults.Parse(*fspec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chef-experiments: -faults: %v\n", err)
+		os.Exit(1)
+	}
+	b.Faults = plan
 	if *cfile != "" {
 		persist, err := solver.OpenPersistentStore(*cfile)
 		if err != nil {
@@ -69,6 +77,11 @@ func main() {
 				cerr, persist.Loaded())
 		}
 		b.Persist = persist
+		if plan != nil {
+			pin := plan.Injector("persist")
+			pin.Instrument(obsFlags.Registry())
+			persist.SetFaults(pin)
+		}
 	}
 	printStats := func() {
 		if !*stats {
@@ -115,9 +128,15 @@ func main() {
 			obsFlags.SetCacheGauges(cs.Entries, cs.Evictions)
 		}
 		if b.Persist != nil {
-			obsFlags.SetPersistStats(int64(b.Persist.Loaded()), b.Persist.Appended())
-			if err := b.Persist.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "chef-experiments: -cachefile: %v\n", err)
+			// Close first so the retry/loss counters are final when copied
+			// into the metrics dump; a close failure means appended entries
+			// were lost — exit nonzero after flushing the sinks.
+			cerr := b.Persist.Close()
+			obsFlags.SetPersistStats(int64(b.Persist.Loaded()), b.Persist.Appended(),
+				b.Persist.Retries(), b.Persist.WriteErrors(), b.Persist.Lost())
+			if cerr != nil {
+				obsFlags.Finish(os.Stdout)
+				fmt.Fprintf(os.Stderr, "chef-experiments: -cachefile: %v\n", cerr)
 				os.Exit(1)
 			}
 		}
@@ -199,7 +218,7 @@ func portfolio(b experiments.Budgets) {
 	}
 	opts := chefPkg.Options{
 		Strategy: chefPkg.StrategyCUPAPath, Seed: b.Seed, StepLimit: b.StepLimit, Parallel: b.Parallel,
-		Metrics: b.Metrics, Tracer: b.Tracer,
+		Metrics: b.Metrics, Tracer: b.Tracer, Faults: b.Faults,
 	}
 	res := chefPkg.RunPortfolio(ms, opts, b.Time)
 	fmt.Printf("Portfolio over %d interpreter builds of xlrd (total budget %d):\n", len(ms), b.Time)

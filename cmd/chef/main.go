@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"chef/internal/chef"
+	"chef/internal/faults"
 	"chef/internal/minilua"
 	"chef/internal/minipy"
 	"chef/internal/obscli"
@@ -38,6 +39,7 @@ func main() {
 		out      = flag.String("out", "", "write generated tests as NDJSON to this file")
 		cmode    = flag.String("cachemode", "exact", "counterexample cache lookup layers: exact | subsume")
 		cfile    = flag.String("cachefile", "", "persistent counterexample cache: load solved queries from this file at startup, append new ones")
+		fspec    = flag.String("faults", "", "deterministic fault-injection plan, e.g. 'seed=7;solver.unknown:p=0.05;persist.write:err@n=3' (see docs/ROBUSTNESS.md)")
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -64,6 +66,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chef: unknown -cachemode %q (want exact or subsume)\n", *cmode)
 		os.Exit(1)
 	}
+	plan, err := faults.Parse(*fspec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chef: -faults: %v\n", err)
+		os.Exit(1)
+	}
 	var persist *solver.PersistentStore
 	if *cfile != "" {
 		var err error
@@ -81,6 +88,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chef: %v\n", err)
 		os.Exit(1)
 	}
+	var persistInj *faults.Injector
+	if persist != nil && plan != nil {
+		persistInj = plan.Injector("persist")
+		persistInj.Instrument(obsFlags.Registry())
+		persist.SetFaults(persistInj)
+	}
 
 	opts := chef.Options{
 		Strategy:      strat,
@@ -90,6 +103,7 @@ func main() {
 		Metrics:       obsFlags.Registry(),
 		Tracer:        obsFlags.Tracer(),
 		Name:          fmt.Sprintf("%s/%s/%d", *pkgName, *strategy, *seed),
+		Faults:        plan,
 	}
 	var prog chef.TestProgram
 	pyCfg, luaCfg := minipy.Optimized, minilua.Optimized
@@ -107,6 +121,17 @@ func main() {
 	st := session.Engine().Stats()
 	fmt.Printf("package %s: %d high-level tests from %d low-level paths (%d runs, %d solver-unsat states, clock %d)\n",
 		p.Name, len(tests), st.LLPaths, st.Runs, st.UnsatStates, session.Engine().Clock())
+	if plan != nil {
+		line := fmt.Sprintf("faults: %d injected; states requeued %d, abandoned %d",
+			session.FaultsInjected()+persistInj.Injected(), st.RequeuedStates, st.AbandonedStates)
+		if session.Stalled() {
+			line += "; session stalled"
+		}
+		if persist != nil {
+			line += fmt.Sprintf("; persist retries %d, lost %d", persist.Retries(), persist.Lost())
+		}
+		fmt.Println(line)
+	}
 
 	serialized := make([]symtest.SerializedTest, 0, len(tests))
 	for _, tc := range tests {
@@ -137,9 +162,15 @@ func main() {
 	cs := session.Engine().Solver().Cache().Stats()
 	obsFlags.SetCacheGauges(cs.Entries, cs.Evictions)
 	if persist != nil {
-		obsFlags.SetPersistStats(int64(persist.Loaded()), persist.Appended())
-		if err := persist.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "chef: -cachefile: %v\n", err)
+		// Close first: it drains (or gives up on) pending writes, so the
+		// retry/loss counters are final when copied into the metrics dump.
+		// A close failure means appended entries were lost — exit nonzero.
+		cerr := persist.Close()
+		obsFlags.SetPersistStats(int64(persist.Loaded()), persist.Appended(),
+			persist.Retries(), persist.WriteErrors(), persist.Lost())
+		if cerr != nil {
+			obsFlags.Finish(os.Stdout)
+			fmt.Fprintf(os.Stderr, "chef: -cachefile: %v\n", cerr)
 			os.Exit(1)
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"chef/internal/cupa"
+	"chef/internal/faults"
 	"chef/internal/lowlevel"
 	"chef/internal/obs"
 	"chef/internal/solver"
@@ -97,6 +98,14 @@ type Options struct {
 	// Name labels this session's trace events (multi-session drivers set it
 	// to the member/cell name).
 	Name string
+	// Faults, when non-nil, is the fault-injection plan for this run (see
+	// internal/faults). The session derives a deterministic injector scoped
+	// by Name and threads it into its solver; worker.stall rules match
+	// SessionIndex. nil disables injection entirely.
+	Faults *faults.Plan
+	// SessionIndex identifies this session among its siblings (portfolio
+	// member or harness cell index); worker.stall fault rules match on it.
+	SessionIndex int
 }
 
 // TestCase is one generated high-level test case: a concrete input
@@ -137,12 +146,17 @@ type Session struct {
 
 	cur *Ctx // context of the run in progress
 
+	// Fault injection (nil when disabled).
+	faults  *faults.Injector
+	stalled bool
+
 	// Observability (nil when disabled).
 	tracer   obs.Tracer
 	metrics  *obs.Registry
 	mLogPC   *obs.Counter
 	mTests   *obs.Counter
 	mHLPaths *obs.Counter
+	mStalled *obs.Counter
 }
 
 type hlEdge struct {
@@ -152,6 +166,19 @@ type hlEdge struct {
 
 // NewSession builds a session for the given symbolic test.
 func NewSession(prog TestProgram, opts Options) *Session {
+	// Derive the session's fault injector before the options are captured:
+	// its decisions are a pure function of (plan seed, scope, occurrence
+	// index), so sibling sessions fault independently of scheduling.
+	var inj *faults.Injector
+	if opts.Faults != nil {
+		scope := opts.Name
+		if scope == "" {
+			scope = "session"
+		}
+		inj = opts.Faults.Injector(scope)
+		inj.Instrument(opts.Metrics)
+		opts.SolverOptions.Faults = inj
+	}
 	s := &Session{
 		opts:    opts,
 		prog:    prog,
@@ -159,6 +186,7 @@ func NewSession(prog TestProgram, opts Options) *Session {
 		hlNodes: map[hlEdge]uint64{},
 		cfg:     NewCFG(),
 		hlPaths: map[uint64]bool{},
+		faults:  inj,
 		tracer:  obs.WithSession(opts.Tracer, opts.Name),
 		metrics: opts.Metrics,
 	}
@@ -166,6 +194,7 @@ func NewSession(prog TestProgram, opts Options) *Session {
 		s.mLogPC = s.metrics.Counter(obs.MChefLogPC)
 		s.mTests = s.metrics.Counter(obs.MChefTests)
 		s.mHLPaths = s.metrics.Counter(obs.MChefHLPaths)
+		s.mStalled = s.metrics.Counter(obs.MSessionsStalled)
 	}
 	var strat lowlevel.Strategy
 	if opts.StrategyFactory != nil {
@@ -215,6 +244,20 @@ func (s *Session) Run(budget int64) []TestCase {
 			Seed:     s.opts.Seed,
 			Strategy: s.opts.Strategy.String(),
 		})
+	}
+	// A stalled worker never starts exploring: it terminates cleanly with
+	// zero tests so a portfolio or harness degrades to the surviving
+	// members instead of wedging or miscounting.
+	if s.faults.FireStall(s.opts.SessionIndex) {
+		s.stalled = true
+		if s.mStalled != nil {
+			s.mStalled.Inc()
+		}
+		if s.tracer != nil {
+			s.tracer.Emit(&obs.Event{Kind: obs.KindFault, Site: string(faults.WorkerStall)})
+			s.tracer.Emit(&obs.Event{Kind: obs.KindSessionEnd, Status: "stalled"})
+		}
+		return s.tests
 	}
 	info := s.eng.RunInitial()
 	s.finishRun(info)
@@ -582,6 +625,12 @@ type Summary struct {
 	CFGNodes    int
 	CFGEdges    int
 	VirtTime    int64
+
+	// Degradation accounting (see lowlevel.Stats and internal/faults).
+	RequeuedStates  int64
+	AbandonedStates int64
+	FaultsInjected  int64
+	Stalled         int // 1 when the session stalled (worker.stall)
 }
 
 // Add folds another session's summary into s, field by field. CFG sizes and
@@ -600,26 +649,46 @@ func (s *Summary) Add(o Summary) {
 	s.CFGNodes += o.CFGNodes
 	s.CFGEdges += o.CFGEdges
 	s.VirtTime += o.VirtTime
+	s.RequeuedStates += o.RequeuedStates
+	s.AbandonedStates += o.AbandonedStates
+	s.FaultsInjected += o.FaultsInjected
+	s.Stalled += o.Stalled
 }
 
 // Summary returns a value snapshot of the session's headline numbers, taken
 // at call time (it does not track later exploration).
 func (s *Session) Summary() Summary {
 	st := s.eng.Stats()
-	return Summary{
-		HLTests:     len(s.tests),
-		HLPaths:     len(s.hlPaths),
-		LLPaths:     st.LLPaths,
-		Runs:        st.Runs,
-		Hangs:       st.Hangs,
-		Forks:       st.Forks,
-		UnsatStates: st.UnsatStates,
-		Divergences: st.Divergences,
-		CFGNodes:    s.cfg.Nodes(),
-		CFGEdges:    s.cfg.Edges(),
-		VirtTime:    s.eng.Clock(),
+	sum := Summary{
+		HLTests:         len(s.tests),
+		HLPaths:         len(s.hlPaths),
+		LLPaths:         st.LLPaths,
+		Runs:            st.Runs,
+		Hangs:           st.Hangs,
+		Forks:           st.Forks,
+		UnsatStates:     st.UnsatStates,
+		Divergences:     st.Divergences,
+		CFGNodes:        s.cfg.Nodes(),
+		CFGEdges:        s.cfg.Edges(),
+		VirtTime:        s.eng.Clock(),
+		RequeuedStates:  st.RequeuedStates,
+		AbandonedStates: st.AbandonedStates,
+		FaultsInjected:  s.faults.Injected(),
 	}
+	if s.stalled {
+		sum.Stalled = 1
+	}
+	return sum
 }
+
+// Stalled reports whether the session was stalled by an injected
+// worker.stall fault and never explored.
+func (s *Session) Stalled() bool { return s.stalled }
+
+// FaultsInjected returns the number of faults this session's injector fired
+// (solver and stall sites; the persistent store's injector counts
+// separately).
+func (s *Session) FaultsInjected() int64 { return s.faults.Injected() }
 
 // ReplaySig executes the session's program once under the given concrete
 // input on a non-forking machine and returns the high-level path signature

@@ -76,6 +76,7 @@ func RunPortfolio(members []PortfolioMember, opts Options, budget int64) Portfol
 	runMember := func(i int) {
 		memberOpts := opts
 		memberOpts.Seed = opts.Seed + int64(i)*104729
+		memberOpts.SessionIndex = i // worker.stall fault rules match on it
 		if memberOpts.Name == "" {
 			memberOpts.Name = members[i].Name
 		}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"chef/internal/faults"
+)
+
+func mustChaosPlan(t testing.TB, spec string) *faults.Plan {
+	t.Helper()
+	p, err := faults.Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	return p
+}
+
+// An installed-but-inert plan (the n-th-occurrence trigger is unreachably
+// far) must leave the rendered figure byte-identical to the checked-in
+// golden: the injector plumbing itself — scope derivation, occurrence
+// counting, the per-query Fire check — must not perturb exploration.
+func TestGoldenFig8InertFaultPlanIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in -short mode")
+	}
+	b := goldenBudgets()
+	b.Faults = mustChaosPlan(t, "seed=42;solver.unknown:n=1000000000")
+	checkGolden(t, "fig8", RenderFig8(Fig8(b)))
+}
+
+// An active plan keeps the parallel-determinism contract: fault schedules
+// are a pure function of (seed, scope, occurrence), and scopes are derived
+// from the schedule-independent grid-cell index, so the rendered figure is
+// identical at any worker count.
+func TestFig8DeterministicUnderActiveFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in -short mode")
+	}
+	render := func(parallel int) string {
+		b := goldenBudgets()
+		b.Parallel = parallel
+		b.Faults = mustChaosPlan(t, "seed=3;solver.unknown:p=0.1")
+		return RenderFig8(Fig8(b))
+	}
+	serial, wide := render(1), render(8)
+	if serial != wide {
+		t.Fatalf("fig8 under faults diverged across worker counts.\n--- serial ---\n%s\n--- parallel=8 ---\n%s",
+			serial, wide)
+	}
+	// The plan must actually have fired, or the comparison proves nothing.
+	clean := goldenBudgets()
+	clean.Parallel = 1
+	if got := RenderFig8(Fig8(clean)); got == serial {
+		t.Fatal("faulted figure identical to the clean one: the p=0.1 plan never fired")
+	}
+}

@@ -63,7 +63,7 @@ func parfor(workers, n int, fn func(i int)) {
 func runCells(b Budgets, cells []cell) []RunResult {
 	out := make([]RunResult, len(cells))
 	parfor(b.Workers(), len(cells), func(i int) {
-		out[i] = RunPackage(cells[i].p, cells[i].cfg, b, cells[i].seed)
+		out[i] = runPackageCell(cells[i].p, cells[i].cfg, b, cells[i].seed, i)
 	})
 	return out
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"chef/internal/chef"
+	"chef/internal/faults"
 	"chef/internal/lowlevel"
 	"chef/internal/minilua"
 	"chef/internal/minipy"
@@ -63,6 +64,12 @@ type Budgets struct {
 	// session, labeled "<package>/<config>/<seed>". The tracer must be safe
 	// for concurrent use (obs.NewJSONL is).
 	Tracer obs.Tracer
+	// Faults, when non-nil, is the fault-injection plan threaded into every
+	// session of the run (see internal/faults). Each session derives its
+	// injector from the plan seed and its own label, and worker.stall rules
+	// match the session's grid-cell index, so fault schedules are identical
+	// for every Parallel value.
+	Faults *faults.Plan
 }
 
 // Workers returns the effective worker count of the harness pool.
@@ -125,6 +132,13 @@ type RunResult struct {
 // RunPackage explores one package under one configuration and replays the
 // generated tests to confirm outcomes and measure line coverage.
 func RunPackage(p *packages.Package, cfg Configuration, b Budgets, seed int64) RunResult {
+	return runPackageCell(p, cfg, b, seed, 0)
+}
+
+// runPackageCell is RunPackage with the session's grid-cell index, which
+// worker.stall fault rules match on (the index is a grid position, so fault
+// schedules are schedule-independent).
+func runPackageCell(p *packages.Package, cfg Configuration, b Budgets, seed int64, idx int) RunResult {
 	opts := chef.Options{
 		Strategy:      cfg.Strategy,
 		Seed:          seed,
@@ -132,6 +146,8 @@ func RunPackage(p *packages.Package, cfg Configuration, b Budgets, seed int64) R
 		SolverOptions: solver.Options{Cache: b.Cache, Mode: b.CacheMode, Persist: b.Persist},
 		Tracer:        b.Tracer,
 		Name:          fmt.Sprintf("%s/%s/%d", p.Name, cfg.Name, seed),
+		Faults:        b.Faults,
+		SessionIndex:  idx,
 	}
 	var child *obs.Registry
 	if b.Metrics != nil {

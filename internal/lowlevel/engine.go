@@ -31,7 +31,15 @@ type State struct {
 	flipLLPC     LLPC
 	flipTaken    bool
 	flipOriented bool
+
+	// retries counts how many times this state's feasibility query came
+	// back Unknown and the state was re-queued (see Options.UnknownRetries).
+	retries int
 }
+
+// Retries returns how many times the state has been re-queued after an
+// Unknown feasibility verdict.
+func (s *State) Retries() int { return s.retries }
 
 // PathCondition materializes the state's path condition.
 func (s *State) PathCondition() []*symexpr.Expr { return s.pc.slice() }
@@ -93,6 +101,11 @@ type Options struct {
 	SolverOptions solver.Options
 	// ForkWeightDecay is the p of §3.4 (default 0.75).
 	ForkWeightDecay float64
+	// UnknownRetries bounds how many times a state whose feasibility query
+	// came back Unknown (solver budget exhausted) is re-queued before being
+	// abandoned. 0 means the default (3); negative disables re-queueing, so
+	// the first Unknown abandons the state immediately.
+	UnknownRetries int
 	// Metrics, when non-nil, receives engine counters/gauges (fork counts
 	// per LLPC, states alive, run outcomes). Observation-only: it never
 	// affects exploration.
@@ -102,12 +115,21 @@ type Options struct {
 	Tracer obs.Tracer
 }
 
+// defaultUnknownRetries is the per-state retry budget for Unknown verdicts.
+const defaultUnknownRetries = 3
+
 func (o *Options) fill() {
 	if o.StepLimit == 0 {
 		o.StepLimit = 1 << 20
 	}
 	if o.ForkWeightDecay == 0 {
 		o.ForkWeightDecay = 0.75
+	}
+	switch {
+	case o.UnknownRetries == 0:
+		o.UnknownRetries = defaultUnknownRetries
+	case o.UnknownRetries < 0:
+		o.UnknownRetries = 0
 	}
 }
 
@@ -124,7 +146,12 @@ type Stats struct {
 	DupStates     int64 // alternates skipped because their path was seen
 	UnsatStates   int64
 	UnknownStates int64
-	Divergences   int64
+	// Degradation accounting: every Unknown verdict either re-queues the
+	// state for retry or abandons it, so
+	// UnknownStates == RequeuedStates + AbandonedStates always holds.
+	RequeuedStates  int64
+	AbandonedStates int64
+	Divergences     int64
 }
 
 // Add folds another snapshot into s, field by field. It is the merge helper
@@ -138,6 +165,8 @@ func (s *Stats) Add(o Stats) {
 	s.DupStates += o.DupStates
 	s.UnsatStates += o.UnsatStates
 	s.UnknownStates += o.UnknownStates
+	s.RequeuedStates += o.RequeuedStates
+	s.AbandonedStates += o.AbandonedStates
 	s.Divergences += o.Divergences
 }
 
@@ -174,6 +203,8 @@ type Engine struct {
 	mLLPaths   *obs.Counter
 	mUnsat     *obs.Counter
 	mUnknown   *obs.Counter
+	mRequeued  *obs.Counter
+	mAbandoned *obs.Counter
 	mDiverge   *obs.Counter
 	mCompleted *obs.Counter
 	mPending   *obs.Gauge
@@ -220,6 +251,8 @@ func NewEngine(prog Program, strategy Strategy, opts Options) *Engine {
 		e.mLLPaths = reg.Counter(obs.MLLPaths)
 		e.mUnsat = reg.Counter(obs.MUnsatStates)
 		e.mUnknown = reg.Counter(obs.MUnknownStates)
+		e.mRequeued = reg.Counter(obs.MStatesRequeued)
+		e.mAbandoned = reg.Counter(obs.MStatesAbandoned)
 		e.mDiverge = reg.Counter(obs.MDivergences)
 		e.mCompleted = reg.Counter(obs.MStatesCompleted)
 		e.mPending = reg.Gauge(obs.MStatesPending)
@@ -446,10 +479,50 @@ func (e *Engine) runState(st *State) *RunInfo {
 		}
 		return nil
 	case solver.Unknown:
+		// A budget miss is transient: re-queue the state for a bounded
+		// number of retries instead of silently dropping the path. Unknown
+		// results are never cached, so a retry reaches the SAT core again
+		// and succeeds once the budget recovers.
 		e.stats.UnknownStates++
 		if e.metrics != nil {
 			e.mUnknown.Inc()
+		}
+		if st.retries < e.opts.UnknownRetries {
+			st.retries++
+			e.stats.RequeuedStates++
+			e.strategy.Add(st)
+			if e.metrics != nil {
+				e.mRequeued.Inc()
+				e.mPending.Set(int64(e.strategy.Len()))
+			}
+			if e.tracer != nil {
+				e.tracer.Emit(&obs.Event{
+					T:       e.clock,
+					Kind:    obs.KindStateRequeue,
+					LLPC:    uint64(st.LLPC),
+					Depth:   st.Depth,
+					Retries: st.retries,
+				})
+			}
+			return nil
+		}
+		// Final abandonment: release the visited signature so a later fork
+		// at the same site can re-register the path. Coverage is then
+		// under-reported until that happens — never silently lost forever.
+		delete(e.visited, st.Sig)
+		e.stats.AbandonedStates++
+		if e.metrics != nil {
+			e.mAbandoned.Inc()
 			e.mPending.Set(int64(e.strategy.Len()))
+		}
+		if e.tracer != nil {
+			e.tracer.Emit(&obs.Event{
+				T:       e.clock,
+				Kind:    obs.KindStateAbandon,
+				LLPC:    uint64(st.LLPC),
+				Depth:   st.Depth,
+				Retries: st.retries,
+			})
 		}
 		return nil
 	}

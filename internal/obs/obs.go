@@ -67,8 +67,23 @@ const (
 	MSolverCacheHitsPersist      = "solver.cache.hits.persist"
 
 	// Persistent counterexample cache (the -cachefile store).
-	MSolverPersistLoaded   = "solver.persist.loaded"   // gauge: entries loaded at startup
-	MSolverPersistAppended = "solver.persist.appended" // counter: entries appended this run
+	MSolverPersistLoaded      = "solver.persist.loaded"       // gauge: entries loaded at startup
+	MSolverPersistAppended    = "solver.persist.appended"     // counter: entries appended this run
+	MSolverPersistRetries     = "solver.persist.retries"      // counter: flush retry attempts after a failed write
+	MSolverPersistWriteErrors = "solver.persist.write_errors" // counter: failed physical write attempts
+	MSolverPersistLost        = "solver.persist.lost"         // counter: entries dropped after the retry budget
+
+	// Graceful degradation (states re-queued/abandoned on solver.Unknown,
+	// sessions stalled by injected worker faults).
+	MStatesRequeued  = "engine.states.requeued"  // counter: Unknown states re-queued for retry
+	MStatesAbandoned = "engine.states.abandoned" // counter: states dropped after the retry budget
+	MSessionsStalled = "chef.sessions.stalled"   // counter: sessions that never started (worker.stall)
+
+	// Fault injection (internal/faults).
+	MFaultsInjected      = "faults.injected"                // counter: total faults fired
+	MFaultsSolverUnknown = "faults.injected.solver_unknown" // counter: forced Unknown verdicts
+	MFaultsPersistWrite  = "faults.injected.persist_write"  // counter: failed/shortened writes
+	MFaultsWorkerStall   = "faults.injected.worker_stall"   // counter: stalled sessions
 
 	// CUPA.
 	MCupaSelections   = "cupa.selections"

@@ -19,6 +19,9 @@ const (
 	KindSolverQuery  = "solver-query"  // one satisfiability query (result, latency, cache)
 	KindCUPAPick     = "cupa-pick"     // CUPA selected a state (top-level class)
 	KindTestCase     = "testcase"      // a new high-level path was distilled to a test case
+	KindFault        = "fault"         // an injected fault fired (site)
+	KindStateRequeue = "state-requeue" // an Unknown state was re-queued for retry
+	KindStateAbandon = "state-abandon" // a state was dropped after its retry budget
 )
 
 // Event is one structured exploration event. Fields are a flat union across
@@ -58,6 +61,10 @@ type Event struct {
 
 	// CUPA.
 	Class uint64 `json:"class,omitempty"`
+
+	// Fault injection and degradation.
+	Site    string `json:"site,omitempty"`    // fault: injection site
+	Retries int    `json:"retries,omitempty"` // state-requeue/abandon: attempts so far
 
 	// Session lifecycle.
 	Seed     int64  `json:"seed,omitempty"`

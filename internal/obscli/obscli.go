@@ -98,14 +98,18 @@ func (f *Flags) SetCacheGauges(entries, evictions int64) {
 }
 
 // SetPersistStats copies end-of-run persistent-store traffic (entries loaded
-// at startup, entries appended during the run) into the dump-time metrics. A
-// no-op when metrics are disabled.
-func (f *Flags) SetPersistStats(loaded, appended int64) {
+// at startup, entries appended during the run, write retries/errors and
+// entries lost to the retry budget) into the dump-time metrics. A no-op when
+// metrics are disabled.
+func (f *Flags) SetPersistStats(loaded, appended, retries, writeErrors, lost int64) {
 	if f.reg == nil {
 		return
 	}
 	f.reg.Gauge(obs.MSolverPersistLoaded).Set(loaded)
 	f.reg.Counter(obs.MSolverPersistAppended).Add(appended)
+	f.reg.Counter(obs.MSolverPersistRetries).Add(retries)
+	f.reg.Counter(obs.MSolverPersistWriteErrors).Add(writeErrors)
+	f.reg.Counter(obs.MSolverPersistLost).Add(lost)
 }
 
 // Finish flushes and closes the trace file, prints the text metrics dump to w

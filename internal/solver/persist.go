@@ -2,6 +2,7 @@ package solver
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chef/internal/faults"
 	"chef/internal/symexpr"
 )
 
@@ -64,6 +66,11 @@ const maxPersistConstraints = 1 << 16
 // persistFlushInterval is the background flusher's period.
 const persistFlushInterval = 200 * time.Millisecond
 
+// maxFlushRetries is the write-retry budget: after this many consecutive
+// failed write attempts the store loudly disables appends (writeErr set,
+// pending entries counted as lost) instead of retrying forever.
+const maxFlushRetries = 5
+
 type persistEntry struct {
 	canon  []*symexpr.Expr
 	result Result
@@ -83,14 +90,24 @@ type PersistentStore struct {
 	loaded  int
 	corrupt error // non-nil: loading stopped early; appends disabled
 
-	mu       sync.Mutex
-	f        *os.File
-	pending  []byte
-	appended map[uint64]bool // keys queued for append this run
-	writeErr error
-	closed   bool
+	mu      sync.Mutex
+	f       *os.File
+	pending []byte
+	// pendingEnds holds the cumulative end offset of every complete frame in
+	// pending. After a partial write of n bytes, frames with end <= n are
+	// durable; the rest rebase by -n and stay queued, so a retry writes the
+	// exact remainder bytes and the on-disk frame stream stays well-formed.
+	pendingEnds []int64
+	appended    map[uint64]bool // keys queued for append this run
+	writeErr    error
+	closed      bool
+	flushFails  int // consecutive failed write attempts
+	faults      *faults.Injector
 
-	appendedN atomic.Int64
+	appendedN  atomic.Int64
+	retriesN   atomic.Int64
+	writeErrsN atomic.Int64
+	lostN      atomic.Int64
 
 	flushCh chan struct{}
 	done    chan struct{}
@@ -189,9 +206,31 @@ func (p *PersistentStore) load(data []byte) {
 // Loaded returns the number of entries loaded at startup.
 func (p *PersistentStore) Loaded() int { return p.loaded }
 
-// Appended returns the number of entries appended (queued or written) during
-// this run.
+// Appended returns the number of entries appended during this run that are
+// still on track to be durable: queued entries count, but entries dropped
+// because the write-retry budget was exhausted are subtracted (see Lost).
 func (p *PersistentStore) Appended() int64 { return p.appendedN.Load() }
+
+// Retries returns the number of flush retry attempts made after failed
+// writes.
+func (p *PersistentStore) Retries() int64 { return p.retriesN.Load() }
+
+// WriteErrors returns the number of failed physical write attempts.
+func (p *PersistentStore) WriteErrors() int64 { return p.writeErrsN.Load() }
+
+// Lost returns the number of entries dropped because the write-retry budget
+// was exhausted. Lost entries are subtracted from Appended.
+func (p *PersistentStore) Lost() int64 { return p.lostN.Load() }
+
+// SetFaults installs a fault injector consulted on every physical write
+// (persist.write rules; see internal/faults). The injector is safe for
+// concurrent use by the background flusher. Install it before the first
+// Append for a deterministic fault schedule.
+func (p *PersistentStore) SetFaults(in *faults.Injector) {
+	p.mu.Lock()
+	p.faults = in
+	p.mu.Unlock()
+}
 
 // Corruption returns the load error that stopped record parsing, or nil if
 // the whole file parsed. A corrupt store still serves the valid prefix.
@@ -244,6 +283,7 @@ func (p *PersistentStore) Append(key uint64, canon []*symexpr.Expr, r Result, m 
 	p.pending = append(p.pending, payload...)
 	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(payload))
 	p.pending = append(p.pending, u32[:]...)
+	p.pendingEnds = append(p.pendingEnds, int64(len(p.pending)))
 	p.appendedN.Add(1)
 	select {
 	case p.flushCh <- struct{}{}:
@@ -262,31 +302,128 @@ func (p *PersistentStore) flushLoop() {
 		case <-p.flushCh:
 		case <-t.C:
 		}
-		p.flush()
+		p.flushWithBackoff(p.done)
 	}
 }
 
-// flush writes the pending buffer. Frames are written whole (the buffer only
-// ever contains complete frames), so a crash mid-run leaves at worst a
-// truncated final frame, which the next load treats as the end of the file.
-func (p *PersistentStore) flush() {
+// flushWithBackoff drives flush until the pending buffer drains, the retry
+// budget disables appends, or stop closes. Failed writes back off with a
+// capped exponential delay before retrying; a nil stop (the Close path)
+// retries unconditionally — termination is still bounded by maxFlushRetries.
+func (p *PersistentStore) flushWithBackoff(stop <-chan struct{}) {
+	for attempt := 0; ; attempt++ {
+		err, retryable := p.flush()
+		if err == nil || !retryable {
+			return
+		}
+		d := time.Millisecond << uint(min(attempt, 6))
+		if stop == nil {
+			time.Sleep(d)
+			continue
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(d):
+		}
+	}
+}
+
+// flush attempts one physical write of the pending buffer. Frames are
+// appended whole, so a crash mid-run leaves at worst a truncated final
+// frame, which the next load treats as the end of the file. On a failed or
+// short write the unwritten remainder is retained (prepended to whatever
+// queued meanwhile) so a retry resumes the byte stream exactly; entries are
+// only dropped — loudly, via writeErr and the lost counters — after
+// maxFlushRetries consecutive failed attempts. The bool result reports
+// whether the caller should retry.
+func (p *PersistentStore) flush() (error, bool) {
 	p.mu.Lock()
-	buf := p.pending
-	p.pending = nil
-	f := p.f
-	p.mu.Unlock()
-	if len(buf) == 0 || f == nil {
-		return
-	}
-	if _, err := f.Write(buf); err != nil {
-		p.mu.Lock()
-		p.writeErr = err
+	if p.writeErr != nil || p.f == nil || len(p.pending) == 0 {
+		err := p.writeErr
 		p.mu.Unlock()
+		return err, false
 	}
+	if p.flushFails > 0 {
+		p.retriesN.Add(1)
+	}
+	buf := p.pending
+	ends := p.pendingEnds
+	p.pending, p.pendingEnds = nil, nil
+	f := p.f
+	in := p.faults
+	p.mu.Unlock()
+
+	n, err := writeFaulty(f, buf, in)
+	if err == nil {
+		p.mu.Lock()
+		p.flushFails = 0
+		p.mu.Unlock()
+		return nil, false
+	}
+	p.writeErrsN.Add(1)
+	if n < 0 {
+		n = 0
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushFails++
+	// Durable prefix: frames whose end landed within the n written bytes.
+	// The remainder rebases by -n and goes back to the head of the queue,
+	// ahead of frames appended while the write was in flight.
+	rem := buf[n:]
+	merged := make([]byte, 0, len(rem)+len(p.pending))
+	merged = append(merged, rem...)
+	merged = append(merged, p.pending...)
+	rebased := make([]int64, 0, len(ends)+len(p.pendingEnds))
+	for _, e := range ends {
+		if e > int64(n) {
+			rebased = append(rebased, e-int64(n))
+		}
+	}
+	for _, e := range p.pendingEnds {
+		rebased = append(rebased, e+int64(len(rem)))
+	}
+	p.pending, p.pendingEnds = merged, rebased
+	if p.flushFails >= maxFlushRetries {
+		lost := int64(len(p.pendingEnds))
+		p.lostN.Add(lost)
+		p.appendedN.Add(-lost)
+		p.pending, p.pendingEnds = nil, nil
+		p.writeErr = fmt.Errorf("solver: cache file %s: appends disabled after %d failed write attempts (%d entries lost): %v",
+			p.path, p.flushFails, lost, err)
+		return p.writeErr, false
+	}
+	return err, true
 }
 
-// Close stops the flusher, writes any pending entries and closes the file.
-// It is idempotent.
+// writeFaulty is the physical write, routed through the fault injector when
+// one is installed. Short mode writes half the buffer for real before
+// failing, so the partial-write retention path is exercised end to end.
+func writeFaulty(f *os.File, buf []byte, in *faults.Injector) (int, error) {
+	switch in.FireWrite() {
+	case faults.WriteErr:
+		return 0, errInjectedWrite
+	case faults.WriteShort:
+		n, err := f.Write(buf[:len(buf)/2])
+		if err == nil {
+			err = errInjectedShortWrite
+		}
+		return n, err
+	}
+	return f.Write(buf)
+}
+
+var (
+	errInjectedWrite      = errors.New("injected persist write fault")
+	errInjectedShortWrite = errors.New("injected short persist write")
+)
+
+// Close stops the flusher, writes any pending entries (retrying failed
+// writes up to the retry budget) and closes the file. A non-nil error means
+// entries were lost or the file did not close cleanly — CLI callers exit
+// nonzero on it. It is idempotent.
 func (p *PersistentStore) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -297,7 +434,7 @@ func (p *PersistentStore) Close() error {
 	p.mu.Unlock()
 	close(p.done)
 	p.wg.Wait()
-	p.flush()
+	p.flushWithBackoff(nil)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	err := p.writeErr

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"chef/internal/faults"
 	"chef/internal/obs"
 	"chef/internal/symexpr"
 )
@@ -92,6 +93,13 @@ type Options struct {
 	Metrics *obs.Registry
 	// Tracer, when non-nil, receives one structured event per Check call.
 	Tracer obs.Tracer
+	// Faults, when non-nil, injects deterministic solver faults (see
+	// internal/faults): a fired solver.unknown rule forces the verdict of an
+	// actually-solved query to Unknown, as if the propagation budget had
+	// been exhausted. Cache and persistent hits are unaffected — a budget
+	// miss can only happen on a real solve — and forced Unknowns are never
+	// cached or persisted, exactly like real ones.
+	Faults *faults.Injector
 }
 
 const defaultPropBudget = 4_000_000
@@ -212,6 +220,18 @@ func (s *Solver) Stats() Stats { return s.stats }
 // Cache returns the solver's counterexample cache (nil when caching is
 // disabled). It may be a cache shared with other solvers.
 func (s *Solver) Cache() *QueryCache { return s.cache }
+
+// SetPropBudget replaces the per-query propagation budget; n <= 0 restores
+// the default. It models budget recovery in the degradation tests: a query
+// that came back Unknown under a starved budget succeeds when retried after
+// the budget recovers (Unknown results are never cached, so the retry
+// reaches the SAT core).
+func (s *Solver) SetPropBudget(n int64) {
+	if n <= 0 {
+		n = defaultPropBudget
+	}
+	s.opts.PropBudget = n
+}
 
 // Check decides whether the conjunction pc is satisfiable. base supplies
 // concrete values for input variables from the parent path; slicing uses it
@@ -375,7 +395,13 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 	}
 
 	propsBefore := s.stats.Propagations
-	res, model := s.solveCNF(canon)
+	var res Result
+	var model symexpr.Assignment
+	if s.opts.Faults.Fire(faults.SolverUnknown) {
+		res = Unknown
+	} else {
+		res, model = s.solveCNF(canon)
+	}
 	cost := s.stats.Propagations - propsBefore
 	if res != Unknown {
 		if s.cache != nil {

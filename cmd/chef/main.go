@@ -3,6 +3,12 @@
 // CHEF invocation in the paper's workflow (Figure 4: symbolic test in, test
 // cases out).
 //
+// The CLI is a thin client of the job API in internal/serve: it builds the
+// same serve.JobSpec a POST /v1/jobs body carries and runs it through the
+// same serve.Execute entry point chef-serve's workers use, which is what
+// makes a served job byte-identical to a CLI run with the same spec and
+// seed — by construction, not by parallel maintenance.
+//
 // Usage:
 //
 //	chef -package simplejson -strategy cupa-path -budget 3000000 -out tests.ndjson
@@ -13,16 +19,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"chef/internal/chef"
 	"chef/internal/faults"
-	"chef/internal/minilua"
-	"chef/internal/minipy"
 	"chef/internal/obscli"
 	"chef/internal/packages"
+	"chef/internal/serve"
 	"chef/internal/solver"
 	"chef/internal/symtest"
 )
@@ -56,14 +62,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chef: unknown package %q (try -list)\n", *pkgName)
 		os.Exit(1)
 	}
-	strat, ok := parseStrategy(*strategy)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "chef: unknown strategy %q\n", *strategy)
-		os.Exit(1)
+	spec := serve.JobSpec{
+		Package:   *pkgName,
+		Strategy:  *strategy,
+		Budget:    *budget,
+		StepLimit: *stepCap,
+		Seed:      *seed,
+		Vanilla:   *vanilla,
+		CacheMode: *cmode,
 	}
-	mode, ok := solver.ParseCacheMode(*cmode)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "chef: unknown -cachemode %q (want exact or subsume)\n", *cmode)
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "chef: %v\n", err)
 		os.Exit(1)
 	}
 	plan, err := faults.Parse(*fspec)
@@ -95,36 +104,27 @@ func main() {
 		persist.SetFaults(persistInj)
 	}
 
-	opts := chef.Options{
-		Strategy:      strat,
-		Seed:          *seed,
-		StepLimit:     *stepCap,
-		SolverOptions: solver.Options{Mode: mode, Persist: persist},
-		Metrics:       obsFlags.Registry(),
-		Tracer:        obsFlags.Tracer(),
-		Name:          fmt.Sprintf("%s/%s/%d", *pkgName, *strategy, *seed),
-		Faults:        plan,
+	eo := serve.ExecOptions{
+		Metrics: obsFlags.Registry(),
+		Tracer:  obsFlags.Tracer(),
+		Faults:  plan,
+		Name:    fmt.Sprintf("%s/%s/%d", *pkgName, *strategy, *seed),
 	}
-	var prog chef.TestProgram
-	pyCfg, luaCfg := minipy.Optimized, minilua.Optimized
-	if *vanilla {
-		pyCfg, luaCfg = minipy.Vanilla, minilua.Vanilla
+	if persist != nil {
+		eo.Persist = persist
 	}
-	if p.Lang == packages.Python {
-		prog = p.PyTest(pyCfg).Program()
-	} else {
-		prog = p.LuaTest(luaCfg).Program()
+	res, err := serve.Execute(context.Background(), spec, eo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chef: %v\n", err)
+		os.Exit(1)
 	}
-
-	session := chef.NewSession(prog, opts)
-	tests := session.Run(*budget)
-	st := session.Engine().Stats()
+	sum := res.Summary
 	fmt.Printf("package %s: %d high-level tests from %d low-level paths (%d runs, %d solver-unsat states, clock %d)\n",
-		p.Name, len(tests), st.LLPaths, st.Runs, st.UnsatStates, session.Engine().Clock())
+		p.Name, len(res.Tests), sum.LLPaths, sum.Runs, sum.UnsatStates, sum.VirtTime)
 	if plan != nil {
 		line := fmt.Sprintf("faults: %d injected; states requeued %d, abandoned %d",
-			session.FaultsInjected()+persistInj.Injected(), st.RequeuedStates, st.AbandonedStates)
-		if session.Stalled() {
+			sum.FaultsInjected+persistInj.Injected(), sum.RequeuedStates, sum.AbandonedStates)
+		if res.Stalled {
 			line += "; session stalled"
 		}
 		if persist != nil {
@@ -133,21 +133,11 @@ func main() {
 		fmt.Println(line)
 	}
 
-	serialized := make([]symtest.SerializedTest, 0, len(tests))
-	for _, tc := range tests {
-		serialized = append(serialized, symtest.SerializedTest{
-			Package: p.Name,
-			Result:  tc.Result,
-			Status:  tc.Status.String(),
-			Input:   symtest.EncodeInput(tc.Input),
-		})
-	}
-	symtest.SortTests(serialized)
-	for _, tc := range serialized {
+	for _, tc := range res.Tests {
 		fmt.Printf("  %-28s %s\n", tc.Result, renderInput(p, tc))
 	}
 	if *out != "" {
-		data, err := symtest.MarshalTests(serialized)
+		data, err := symtest.MarshalTests(res.Tests)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chef: %v\n", err)
 			os.Exit(1)
@@ -156,10 +146,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "chef: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %d tests to %s\n", len(serialized), *out)
+		fmt.Printf("wrote %d tests to %s\n", len(res.Tests), *out)
 	}
 
-	cs := session.Engine().Solver().Cache().Stats()
+	cs := res.CacheStats
 	obsFlags.SetCacheGauges(cs.Entries, cs.Evictions)
 	if persist != nil {
 		// Close first: it drains (or gives up on) pending writes, so the
@@ -180,20 +170,10 @@ func main() {
 	}
 }
 
+// parseStrategy maps the flag value onto chef.StrategyKind (delegating to
+// the shared parser in internal/serve).
 func parseStrategy(s string) (chef.StrategyKind, bool) {
-	switch s {
-	case "random":
-		return chef.StrategyRandom, true
-	case "cupa-path":
-		return chef.StrategyCUPAPath, true
-	case "cupa-coverage":
-		return chef.StrategyCUPACoverage, true
-	case "dfs":
-		return chef.StrategyDFS, true
-	case "bfs":
-		return chef.StrategyBFS, true
-	}
-	return 0, false
+	return serve.ParseStrategy(s)
 }
 
 func renderInput(p *packages.Package, tc symtest.SerializedTest) string {

@@ -12,6 +12,7 @@
 package chef
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -150,6 +151,10 @@ type Session struct {
 	faults  *faults.Injector
 	stalled bool
 
+	// cancelled records that RunContext stopped early because its context
+	// was done; the tests generated so far remain valid.
+	cancelled bool
+
 	// Observability (nil when disabled).
 	tracer   obs.Tracer
 	metrics  *obs.Registry
@@ -236,8 +241,22 @@ func (s *Session) runOnce(m *lowlevel.Machine) {
 }
 
 // Run explores until the virtual-time budget is exhausted or the state queue
-// drains, and returns the generated test cases.
+// drains, and returns the generated test cases. It is RunContext with a
+// background context: the two are byte-identical for uncancelled runs.
 func (s *Session) Run(budget int64) []TestCase {
+	return s.RunContext(context.Background(), budget)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between engine runs (each bounded by StepLimit virtual steps), so a
+// cancelled exploration stops promptly — after at most one more run — and
+// returns the test cases generated so far. Cancellation is observation-safe:
+// it never alters the tests produced before the cancellation point, and a
+// run with an uncancelled context is byte-identical to Run.
+func (s *Session) RunContext(ctx context.Context, budget int64) []TestCase {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s.tracer != nil {
 		s.tracer.Emit(&obs.Event{
 			Kind:     obs.KindSessionStart,
@@ -259,29 +278,45 @@ func (s *Session) Run(budget int64) []TestCase {
 		}
 		return s.tests
 	}
-	info := s.eng.RunInitial()
-	s.finishRun(info)
-	for s.eng.Clock() < budget {
-		info, more := s.eng.SelectAndRun()
-		if !more {
-			break
-		}
-		if info != nil {
-			s.finishRun(info)
+	if ctx.Err() != nil {
+		s.cancelled = true
+	} else {
+		info := s.eng.RunInitial()
+		s.finishRun(info)
+		for s.eng.Clock() < budget {
+			if ctx.Err() != nil {
+				s.cancelled = true
+				break
+			}
+			info, more := s.eng.SelectAndRun()
+			if !more {
+				break
+			}
+			if info != nil {
+				s.finishRun(info)
+			}
 		}
 	}
 	if s.tracer != nil {
 		st := s.eng.Stats()
-		s.tracer.Emit(&obs.Event{
+		ev := &obs.Event{
 			T:       s.eng.Clock(),
 			Kind:    obs.KindSessionEnd,
 			Tests:   len(s.tests),
 			HLPaths: len(s.hlPaths),
 			LLPaths: st.LLPaths,
-		})
+		}
+		if s.cancelled {
+			ev.Status = "cancelled"
+		}
+		s.tracer.Emit(ev)
 	}
 	return s.tests
 }
+
+// Cancelled reports whether RunContext stopped early because its context was
+// done.
+func (s *Session) Cancelled() bool { return s.cancelled }
 
 func (s *Session) finishRun(info *lowlevel.RunInfo) {
 	ctx := s.cur

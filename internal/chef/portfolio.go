@@ -1,6 +1,7 @@
 package chef
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -49,6 +50,17 @@ type PortfolioResult struct {
 // gathered results in member order, so the outcome is identical to a serial
 // run regardless of scheduling.
 func RunPortfolio(members []PortfolioMember, opts Options, budget int64) PortfolioResult {
+	return RunPortfolioContext(context.Background(), members, opts, budget)
+}
+
+// RunPortfolioContext is RunPortfolio with cooperative cancellation: member
+// sessions run under the context and stop promptly when it is done, and the
+// merge proceeds over whatever each member produced before the cancellation
+// point. With an uncancelled context it is byte-identical to RunPortfolio.
+func RunPortfolioContext(ctx context.Context, members []PortfolioMember, opts Options, budget int64) PortfolioResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := PortfolioResult{}
 	if len(members) == 0 {
 		return res
@@ -84,7 +96,7 @@ func RunPortfolio(members []PortfolioMember, opts Options, budget int64) Portfol
 			memberOpts.Metrics = childRegs[i]
 		}
 		s := NewSession(members[i].Prog, memberOpts)
-		perMember[i] = s.Run(share)
+		perMember[i] = s.RunContext(ctx, share)
 		summaries[i] = s.Summary()
 	}
 	if workers <= 1 {

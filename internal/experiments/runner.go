@@ -72,6 +72,18 @@ type Budgets struct {
 	Faults *faults.Plan
 }
 
+// solverOptions builds the per-session solver options. The Persist field is
+// assigned conditionally: solver.Options.Persist is an interface, and storing
+// a nil *solver.PersistentStore in it directly would produce a non-nil
+// interface value (the typed-nil trap).
+func solverOptions(b Budgets) solver.Options {
+	so := solver.Options{Cache: b.Cache, Mode: b.CacheMode}
+	if b.Persist != nil {
+		so.Persist = b.Persist
+	}
+	return so
+}
+
 // Workers returns the effective worker count of the harness pool.
 func (b Budgets) Workers() int {
 	if b.Parallel > 0 {
@@ -143,7 +155,7 @@ func runPackageCell(p *packages.Package, cfg Configuration, b Budgets, seed int6
 		Strategy:      cfg.Strategy,
 		Seed:          seed,
 		StepLimit:     b.StepLimit,
-		SolverOptions: solver.Options{Cache: b.Cache, Mode: b.CacheMode, Persist: b.Persist},
+		SolverOptions: solverOptions(b),
 		Tracer:        b.Tracer,
 		Name:          fmt.Sprintf("%s/%s/%d", p.Name, cfg.Name, seed),
 		Faults:        b.Faults,

@@ -93,6 +93,20 @@ const (
 	MChefLogPC   = "chef.logpc" // high-level instructions observed
 	MChefTests   = "chef.tests"
 	MChefHLPaths = "chef.hlpaths"
+
+	// Serving layer (internal/serve). Job accounting mirrors the engine's
+	// Unknown == Requeued + Abandoned invariant one level up: at any quiescent
+	// point, submitted == succeeded + degraded + cancelled + failed +
+	// queued(gauge) + running(gauge) — no job is ever silently lost.
+	MServeJobsSubmitted = "serve.jobs.submitted" // counter: accepted submissions
+	MServeJobsRejected  = "serve.jobs.rejected"  // counter: 429/503 rejections (never counted as submitted)
+	MServeJobsInvalid   = "serve.jobs.invalid"   // counter: 400 malformed specs (never counted as submitted)
+	MServeJobsSucceeded = "serve.jobs.succeeded" // counter: jobs that ran to completion
+	MServeJobsDegraded  = "serve.jobs.degraded"  // counter: terminal but degraded (stalled session)
+	MServeJobsCancelled = "serve.jobs.cancelled" // counter: cancelled via DELETE or drain timeout
+	MServeJobsFailed    = "serve.jobs.failed"    // counter: jobs that errored or panicked
+	MServeJobsQueued    = "serve.jobs.queued"    // gauge: jobs waiting for a worker slot
+	MServeJobsRunning   = "serve.jobs.running"   // gauge: jobs currently executing
 )
 
 // Counter is a monotonically increasing atomic counter.

@@ -192,6 +192,36 @@ func WithSession(t Tracer, name string) Tracer {
 	return sessionTracer{inner: t, name: name}
 }
 
+// fanoutTracer forwards every event to each of its members.
+type fanoutTracer struct{ members []Tracer }
+
+// Emit implements Tracer.
+func (t fanoutTracer) Emit(ev *Event) {
+	for _, m := range t.members {
+		m.Emit(ev)
+	}
+}
+
+// Fanout combines tracers into one that forwards every event to each of
+// them. Nil members are skipped; Fanout returns nil when none remain and the
+// sole member itself when only one does, so callers can pass the result
+// straight into an Options.Tracer field.
+func Fanout(tracers ...Tracer) Tracer {
+	members := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			members = append(members, t)
+		}
+	}
+	switch len(members) {
+	case 0:
+		return nil
+	case 1:
+		return members[0]
+	}
+	return fanoutTracer{members: members}
+}
+
 // ParseJSONL decodes a JSONL trace, skipping blank lines. It is the reading
 // half of the JSONL tracer, shared by cmd/chef-trace and tests.
 func ParseJSONL(r io.Reader) ([]Event, error) {

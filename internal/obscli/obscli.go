@@ -52,7 +52,9 @@ func (f *Flags) MetricsEnabled() bool {
 // file cannot be created.
 func (f *Flags) Start(publishName string) error {
 	if f.MetricsEnabled() {
-		f.reg = obs.NewRegistry()
+		if f.reg == nil {
+			f.reg = obs.NewRegistry()
+		}
 		if f.HTTPAddr != "" {
 			f.reg.Publish(publishName)
 			go func() {
@@ -75,6 +77,16 @@ func (f *Flags) Start(publishName string) error {
 // Registry returns the metrics registry, nil when no metrics sink is enabled.
 // The nil default is what the engine packages expect for disabled metrics.
 func (f *Flags) Registry() *obs.Registry { return f.reg }
+
+// StartAlways is Start for long-running servers: the registry is created
+// unconditionally (a server's /metrics endpoint must work without any
+// metrics flag), then the requested sinks are opened as usual.
+func (f *Flags) StartAlways(publishName string) error {
+	if f.reg == nil {
+		f.reg = obs.NewRegistry()
+	}
+	return f.Start(publishName)
+}
 
 // Tracer returns the trace sink as the interface the engine consumes, nil
 // when tracing is disabled (a typed-nil *JSONL must not leak into the

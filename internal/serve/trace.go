@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+
+	"chef/internal/obs"
+)
+
+// traceBuffer is the per-job JSONL event sink behind GET /v1/jobs/{id}/events.
+// Unlike obs.NewJSONL it is unbuffered, so events become readable as they are
+// emitted, and it supports offset reads for incremental streaming. Events are
+// not wall-clock stamped: a job's trace depends only on its spec and seed.
+type traceBuffer struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	done bool
+}
+
+func newTraceBuffer() *traceBuffer { return &traceBuffer{} }
+
+// Emit implements obs.Tracer.
+func (t *traceBuffer) Emit(ev *obs.Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf.Write(data)
+	t.buf.WriteByte('\n')
+	t.mu.Unlock()
+}
+
+// finish marks the trace complete (no further events will arrive).
+func (t *traceBuffer) finish() {
+	t.mu.Lock()
+	t.done = true
+	t.mu.Unlock()
+}
+
+// readFrom copies the bytes at and after offset, reporting the new offset
+// and whether the trace is complete.
+func (t *traceBuffer) readFrom(offset int) (data []byte, next int, done bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buf.Bytes()
+	if offset > len(b) {
+		offset = len(b)
+	}
+	data = append([]byte(nil), b[offset:]...)
+	return data, len(b), t.done
+}

@@ -21,15 +21,22 @@ import (
 //
 // The store is deliberately asymmetric:
 //
-//   - The *read side* is immutable after load. Lookups only ever see what the
-//     previous run left on disk, never entries appended during this run (the
-//     in-memory QueryCache already serves those). This is what makes a warm
-//     rerun reproduce a cold run byte-for-byte: the set of answerable
-//     persistent lookups is fixed before the run starts, so it cannot depend
-//     on scheduling.
+//   - The *read side* of the store itself is immutable after load. Direct
+//     lookups only ever see what the previous process left on disk, never
+//     entries appended during this run (the in-memory QueryCache already
+//     serves those). This is what makes a warm rerun reproduce a cold run
+//     byte-for-byte: the set of answerable persistent lookups is fixed before
+//     the run starts, so it cannot depend on scheduling.
 //   - The *write side* records only queries this run actually solved — never
 //     results derived by subsumption, which could disagree (different model,
 //     same key) with what a cold solve produces.
+//
+// Long-running multi-job processes (chef-serve) use View instead of the store
+// directly: a View snapshots the load-time entries plus everything published
+// by earlier Appends at view-creation time, so each job's answerable set is
+// fixed when the job starts — per-job determinism — while jobs submitted
+// later still observe warm state from jobs that already ran, without waiting
+// for a process restart.
 //
 // Each entry stores the canonical constraint sequence, the result, the model
 // (Sat only) and the SAT propagation count the solve cost. A hit replays that
@@ -90,6 +97,14 @@ type PersistentStore struct {
 	loaded  int
 	corrupt error // non-nil: loading stopped early; appends disabled
 
+	// overlay holds entries appended (and therefore published) during this
+	// process, keyed like entries. It is never consulted by the store's own
+	// Lookup — only by Views snapshotted after the publish — so single-run
+	// CLI behavior is unchanged. Bucket slices are copy-on-publish: once a
+	// slice is stored it is never mutated, so View can alias them.
+	ovMu    sync.RWMutex
+	overlay map[uint64][]persistEntry
+
 	mu      sync.Mutex
 	f       *os.File
 	pending []byte
@@ -131,6 +146,7 @@ func OpenPersistentStore(path string) (*PersistentStore, error) {
 	p := &PersistentStore{
 		path:     path,
 		entries:  map[uint64][]persistEntry{},
+		overlay:  map[uint64][]persistEntry{},
 		f:        f,
 		appended: map[uint64]bool{},
 		flushCh:  make(chan struct{}, 1),
@@ -240,8 +256,13 @@ func (p *PersistentStore) Corruption() error { return p.corrupt }
 // candidate entries pointer-wise (decoded expressions are re-interned, so
 // equality is pointer identity). The returned model is owned by the store;
 // callers clone before mutating. cost is the recorded propagation count of
-// the original solve.
+// the original solve. Only load-time entries are consulted — appends made
+// during this process are visible through Views created after them, never
+// here. Nil-receiver safe (a nil store never answers).
 func (p *PersistentStore) Lookup(key uint64, canon []*symexpr.Expr) (Result, symexpr.Assignment, int64, bool) {
+	if p == nil {
+		return Unknown, nil, 0, false
+	}
 	for _, e := range p.entries[key] {
 		if sameCanon(e.canon, canon) {
 			return e.result, e.model, e.cost, true
@@ -250,12 +271,68 @@ func (p *PersistentStore) Lookup(key uint64, canon []*symexpr.Expr) (Result, sym
 	return Unknown, nil, 0, false
 }
 
-// Append queues a solved query for the background flusher. Results derived
-// from other cache layers must not be appended (the solver only appends after
-// an actual solveCNF call). Appends never become visible to this process's
-// lookups; they exist for the next run.
+// View snapshots the store's answerable set at call time: the load-time
+// entries plus every entry published by Appends that completed before the
+// snapshot. A View is immutable — concurrent Appends publish only into later
+// Views — so a job solving against one View is as deterministic as a CLI run
+// against a freshly loaded store with the same content. View is cheap (one
+// shallow map copy) and safe to call concurrently with Appends. A nil store
+// yields a nil View, which never answers and forwards nothing.
+func (p *PersistentStore) View() *PersistView {
+	if p == nil {
+		return nil
+	}
+	p.ovMu.RLock()
+	ov := make(map[uint64][]persistEntry, len(p.overlay))
+	for k, v := range p.overlay {
+		ov[k] = v // bucket slices are copy-on-publish, safe to alias
+	}
+	p.ovMu.RUnlock()
+	return &PersistView{store: p, overlay: ov}
+}
+
+// PersistView is a point-in-time view of a PersistentStore: lookups answer
+// from the store's load-time entries plus the overlay snapshot taken at View
+// time; appends forward to the store (queued for disk and published to later
+// views). It implements PersistLayer, so a solver can hold either a store or
+// a view. All methods are nil-receiver safe.
+type PersistView struct {
+	store   *PersistentStore
+	overlay map[uint64][]persistEntry
+}
+
+// Lookup implements PersistLayer over the view's fixed answerable set.
+func (v *PersistView) Lookup(key uint64, canon []*symexpr.Expr) (Result, symexpr.Assignment, int64, bool) {
+	if v == nil {
+		return Unknown, nil, 0, false
+	}
+	if r, m, cost, ok := v.store.Lookup(key, canon); ok {
+		return r, m, cost, true
+	}
+	for _, e := range v.overlay[key] {
+		if sameCanon(e.canon, canon) {
+			return e.result, e.model, e.cost, true
+		}
+	}
+	return Unknown, nil, 0, false
+}
+
+// Append implements PersistLayer by forwarding to the backing store.
+func (v *PersistView) Append(key uint64, canon []*symexpr.Expr, r Result, m symexpr.Assignment, cost int64) {
+	if v == nil {
+		return
+	}
+	v.store.Append(key, canon, r, m, cost)
+}
+
+// Append queues a solved query for the background flusher and publishes it
+// for Views created afterwards. Results derived from other cache layers must
+// not be appended (the solver only appends after an actual solveCNF call).
+// Appends never become visible to the store's own Lookup or to Views taken
+// before the append — within one run the in-memory QueryCache serves them —
+// so single-store runs behave exactly as before. Nil-receiver safe.
 func (p *PersistentStore) Append(key uint64, canon []*symexpr.Expr, r Result, m symexpr.Assignment, cost int64) {
-	if r == Unknown || len(canon) == 0 {
+	if p == nil || r == Unknown || len(canon) == 0 {
 		return
 	}
 	p.mu.Lock()
@@ -285,6 +362,25 @@ func (p *PersistentStore) Append(key uint64, canon []*symexpr.Expr, r Result, m 
 	p.pending = append(p.pending, u32[:]...)
 	p.pendingEnds = append(p.pendingEnds, int64(len(p.pending)))
 	p.appendedN.Add(1)
+	// Publish for later Views. Clones keep the published entry independent of
+	// the caller, which mutates the model right after Append (merge into the
+	// returned assignment). Copy-on-publish: the stored bucket slice is never
+	// mutated again, so View may alias it lock-free.
+	e := persistEntry{
+		canon:  append([]*symexpr.Expr(nil), canon...),
+		result: r,
+		cost:   cost,
+	}
+	if r == Sat && m != nil {
+		e.model = m.Clone()
+	}
+	p.ovMu.Lock()
+	bucket := p.overlay[key]
+	nb := make([]persistEntry, len(bucket)+1)
+	copy(nb, bucket)
+	nb[len(bucket)] = e
+	p.overlay[key] = nb
+	p.ovMu.Unlock()
 	select {
 	case p.flushCh <- struct{}{}:
 	default:

@@ -560,6 +560,46 @@ func BenchmarkTracingOverhead(b *testing.B) {
 	})
 }
 
+// benchExploreSpans is benchExplore with a span profiler attached (a fresh
+// one per session; profilers are single-goroutine and hold a span stack).
+func benchExploreSpans(b *testing.B, mkReg func() *obs.Registry, mkTracer func() obs.Tracer) {
+	p, _ := packages.ByName("simplejson")
+	prog := p.PyTest(minipy.Optimized).Program()
+	bud := benchBudgets()
+	b.ResetTimer()
+	var tests int
+	for i := 0; i < b.N; i++ {
+		s := chef.NewSession(prog, chef.Options{
+			Strategy: chef.StrategyCUPAPath, Seed: 1, StepLimit: bud.StepLimit,
+			Spans: obs.NewSpanProfiler(mkReg(), mkTracer()),
+		})
+		tests = len(s.Run(bud.Time))
+	}
+	b.ReportMetric(float64(tests), "tests")
+}
+
+// BenchmarkSpanOverhead quantifies the span profiler against the same fixed
+// workload as BenchmarkTracingOverhead. The disabled case is the nil-check
+// path every unprofiled run pays (it must stay within noise of
+// TracingOverhead/disabled); spans+metrics is the production -spans
+// configuration (a handful of atomic adds per span close); spans+trace adds
+// one JSONL event per span.
+func BenchmarkSpanOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		benchExplore(b, nil, nil)
+	})
+	b.Run("spans+metrics", func(b *testing.B) {
+		benchExploreSpans(b, obs.NewRegistry, func() obs.Tracer { return nil })
+	})
+	b.Run("spans+trace", func(b *testing.B) {
+		benchExploreSpans(b, func() *obs.Registry { return nil }, func() obs.Tracer {
+			tr := obs.NewJSONL(io.Discard)
+			tr.DisableWallClock()
+			return tr
+		})
+	})
+}
+
 // benchQueries builds a deterministic batch of growing path conditions over
 // one symbolic byte — the natural query pattern of symbolic execution, where
 // each branch appends one conjunct to the previous path condition.

@@ -1,0 +1,202 @@
+// Command chef-bench runs the fixed benchmark matrix behind the repo's
+// continuous benchmark trajectory and writes one schema-versioned JSON point
+// (BENCH_<pr>.json, see internal/benchfmt). The matrix is deliberately
+// small and fully deterministic: both interpreters, cold versus warm
+// persistent cache, serial versus parallel workers, all at seed 42. The
+// deterministic columns (tests, virtual time, span virtual aggregates) make
+// drift between two trajectory points attributable to code changes; the
+// wall-clock columns record what the host actually paid.
+//
+// Usage:
+//
+//	chef-bench -out BENCH_7.json
+//	chef-bench -micro -out /tmp/bench.json   # 1-config smoke matrix for CI
+//	chef-bench -validate BENCH_7.json        # schema + determinism check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"chef/internal/benchfmt"
+	"chef/internal/chef"
+	"chef/internal/experiments"
+	"chef/internal/minilua"
+	"chef/internal/minipy"
+	"chef/internal/obs"
+	"chef/internal/packages"
+	"chef/internal/solver"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed     = flag.Int64("seed", 42, "base session seed")
+		budget   = flag.Int64("budget", 600_000, "virtual-time budget per session")
+		stepCap  = flag.Int64("steplimit", 30_000, "per-run hang threshold")
+		reps     = flag.Int("reps", 2, "sessions (distinct seeds) per configuration")
+		out      = flag.String("out", "BENCH_7.json", "output file")
+		bench    = flag.String("bench", "fixed-matrix", "matrix name recorded in the file")
+		micro    = flag.Bool("micro", false, "run the 1-config smoke matrix (CI): simplejson, cold+warm, serial, 1 rep, reduced budget")
+		validate = flag.String("validate", "", "validate an existing BENCH file and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chef-bench: %v\n", err)
+			return 1
+		}
+		f, err := benchfmt.Parse(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chef-bench: %s: %v\n", *validate, err)
+			return 1
+		}
+		fmt.Printf("chef-bench: %s ok (%s, %d configs, seed %d, %s)\n",
+			*validate, f.Schema, len(f.Configs), f.Seed, f.GoVersion)
+		return 0
+	}
+
+	pkgNames := []string{"simplejson", "JSON"}
+	caches := []string{"cold", "warm"}
+	workerCounts := []int{1, 4}
+	if *micro {
+		pkgNames = []string{"simplejson"}
+		workerCounts = []int{1}
+		*reps = 1
+		*bench = "micro"
+		if *budget > 200_000 {
+			*budget = 200_000
+		}
+	}
+
+	cfg := experiments.Configuration{
+		Name:     "cupa+opt",
+		Strategy: chef.StrategyCUPAPath,
+		PyCfg:    minipy.Optimized,
+		LuaCfg:   minilua.Optimized,
+	}
+	file := benchfmt.File{
+		Schema:    benchfmt.SchemaVersion,
+		Bench:     *bench,
+		Seed:      *seed,
+		Budget:    *budget,
+		StepLimit: *stepCap,
+		Reps:      *reps,
+		GoVersion: runtime.Version(),
+	}
+
+	tmp, err := os.MkdirTemp("", "chef-bench-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chef-bench: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(tmp)
+
+	base := experiments.Budgets{
+		Time: *budget, StepLimit: *stepCap, Reps: *reps, Seed: *seed,
+		CacheMode: solver.CacheExact, Spans: true,
+	}
+	for _, name := range pkgNames {
+		p, ok := packages.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "chef-bench: unknown package %q\n", name)
+			return 1
+		}
+		// Warm cells share one store per package, populated by an identical
+		// unmeasured pass: its read side is then fixed, so the measured warm
+		// run must reproduce the cold run's tests and virtual time exactly.
+		warmFile := filepath.Join(tmp, name+".ndjson")
+		if err := prewarm(p, cfg, base, warmFile); err != nil {
+			fmt.Fprintf(os.Stderr, "chef-bench: prewarm %s: %v\n", name, err)
+			return 1
+		}
+		for _, cache := range caches {
+			for _, workers := range workerCounts {
+				c, err := runCell(p, cfg, base, cache, workers, warmFile)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "chef-bench: %s: %v\n", c.Name, err)
+					return 1
+				}
+				fmt.Printf("%-32s tests=%-5d virt=%-10d wall=%s\n",
+					c.Name, c.Tests, c.VirtTime, time.Duration(c.WallNs).Round(time.Millisecond))
+				file.Configs = append(file.Configs, c)
+			}
+		}
+	}
+
+	if err := file.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "chef-bench: result failed validation: %v\n", err)
+		return 1
+	}
+	data, err := benchfmt.Marshal(&file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chef-bench: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "chef-bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("chef-bench: wrote %d configs to %s\n", len(file.Configs), *out)
+	return 0
+}
+
+// prewarm populates path's persistent store with the queries of an
+// unmeasured pass over the same matrix cell parameters.
+func prewarm(p *packages.Package, cfg experiments.Configuration, b experiments.Budgets, path string) error {
+	store, err := solver.OpenPersistentStore(path)
+	if err != nil {
+		return err
+	}
+	b.Persist = store
+	b.Parallel = 1
+	b.Spans = false
+	experiments.RunRepeated(p, cfg, b)
+	return store.Close()
+}
+
+// runCell measures one matrix cell: Reps sessions of p under cfg, totals
+// read from a cell-private metrics registry (sessions merge their child
+// registries into it, so totals are schedule-independent).
+func runCell(p *packages.Package, cfg experiments.Configuration, b experiments.Budgets,
+	cache string, workers int, warmFile string) (benchfmt.Config, error) {
+	c := benchfmt.Config{
+		Name:     fmt.Sprintf("%s/%s/w%d", p.Name, cache, workers),
+		Package:  p.Name,
+		Language: string(p.Lang),
+		Cache:    cache,
+		Workers:  workers,
+		Sessions: b.Reps,
+	}
+	reg := obs.NewRegistry()
+	b.Metrics = reg
+	b.Parallel = workers
+	if cache == "warm" {
+		store, err := solver.OpenPersistentStore(warmFile)
+		if err != nil {
+			return c, err
+		}
+		defer store.Close()
+		b.Persist = store
+	}
+	start := time.Now()
+	experiments.RunRepeated(p, cfg, b)
+	c.WallNs = int64(time.Since(start))
+	c.Tests = reg.Counter(obs.MChefTests).Value()
+	c.Spans = reg.SpanAggregates()
+	for _, sp := range c.Spans {
+		if sp.Layer == obs.SpanChefSession {
+			c.VirtTime = sp.VirtTotal
+		}
+	}
+	return c, nil
+}

@@ -19,6 +19,7 @@ import (
 	"chef/internal/experiments"
 	"chef/internal/faults"
 	"chef/internal/minipy"
+	"chef/internal/obs"
 	"chef/internal/obscli"
 	"chef/internal/packages"
 	"chef/internal/solver"
@@ -49,7 +50,7 @@ func main() {
 	}
 	b := experiments.Budgets{
 		Time: *budget, StepLimit: *stepCap, Reps: *reps, Seed: *seed, Parallel: *parallel,
-		Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer(),
+		Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer(), Spans: obsFlags.SpansEnabled(),
 	}
 	if *shared {
 		b.Cache = solver.NewQueryCache(0)
@@ -219,6 +220,11 @@ func portfolio(b experiments.Budgets) {
 	opts := chefPkg.Options{
 		Strategy: chefPkg.StrategyCUPAPath, Seed: b.Seed, StepLimit: b.StepLimit, Parallel: b.Parallel,
 		Metrics: b.Metrics, Tracer: b.Tracer, Faults: b.Faults,
+	}
+	if b.Spans {
+		// Non-nil Spans asks RunPortfolio for per-member profilers (members
+		// run concurrently; profilers are single-goroutine).
+		opts.Spans = obs.NewSpanProfiler(b.Metrics, b.Tracer)
 	}
 	res := chefPkg.RunPortfolio(ms, opts, b.Time)
 	fmt.Printf("Portfolio over %d interpreter builds of xlrd (total budget %d):\n", len(ms), b.Time)

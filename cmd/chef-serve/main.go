@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"chef/internal/faults"
+	"chef/internal/obs"
 	"chef/internal/obscli"
 	"chef/internal/serve"
 	"chef/internal/solver"
@@ -47,6 +48,7 @@ func run() int {
 		sharedCache  = flag.Bool("sharedcache", false, "share one in-memory query cache across jobs (throughput knob; per-job stats become schedule-dependent)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to let jobs finish on SIGTERM before cancelling them")
 		fspec        = flag.String("faults", "", "deterministic fault-injection plan, e.g. 'seed=7;worker.stall:session=1;persist.write:err@n=3'")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the service address")
 	)
 	var obsFlags obscli.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -80,6 +82,11 @@ func run() int {
 		inj.Instrument(obsFlags.Registry())
 		persist.SetFaults(inj)
 	}
+	if persist != nil {
+		// Dedicated profiler for the flusher goroutine: persist.flush spans
+		// land in the server-total registry and the server-level trace.
+		persist.SetSpans(obs.NewSpanProfiler(obsFlags.Registry(), obsFlags.Tracer()))
+	}
 
 	srv := serve.NewServer(serve.Options{
 		Workers:           *workers,
@@ -100,7 +107,16 @@ func run() int {
 	}
 	fmt.Printf("chef-serve: listening on %s\n", ln.Addr())
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// obscli's side-effect import registers the pprof handlers on the
+		// default mux; expose them alongside the job API when asked.
+		m := http.NewServeMux()
+		m.Handle("/debug/pprof/", http.DefaultServeMux)
+		m.Handle("/", handler)
+		handler = m
+	}
+	httpSrv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 

@@ -22,6 +22,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"chef/internal/obs"
 )
@@ -30,9 +31,13 @@ func main() {
 	var (
 		in      = flag.String("in", "-", "trace file to read (- for stdin)")
 		topK    = flag.Int("top", 10, "number of entries in top-K tables")
-		section = flag.String("section", "all", "all | forks | timeline | solver | sessions")
+		section = flag.String("section", "all", "all | forks | timeline | solver | sessions | profile")
+		profile = flag.Bool("profile", false, "shorthand for -section profile: render the span time-attribution tree")
 	)
 	flag.Parse()
+	if *profile {
+		*section = "profile"
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "-" && *in != "" {
@@ -65,6 +70,7 @@ func Render(events []obs.Event, section string, topK int) (string, error) {
 		b.WriteString(renderForks(events, topK))
 		b.WriteString(renderTimeline(events))
 		b.WriteString(renderSolver(events))
+		b.WriteString(renderProfile(events))
 		b.WriteString(renderSessions(events))
 	case "forks":
 		b.WriteString(renderForks(events, topK))
@@ -74,6 +80,8 @@ func Render(events []obs.Event, section string, topK int) (string, error) {
 		b.WriteString(renderSolver(events))
 	case "sessions":
 		b.WriteString(renderSessions(events))
+	case "profile":
+		b.WriteString(renderProfile(events))
 	default:
 		return "", fmt.Errorf("unknown section %q", section)
 	}
@@ -225,6 +233,97 @@ func writeHist(b *strings.Builder, label string, h *obs.Histogram) {
 		}
 		fmt.Fprintf(b, "    [%12d, %12d]  %-7d %s\n", lo, hi, n, strings.Repeat("#", width))
 	}
+}
+
+// profEdge aggregates span events for one (parent layer, layer) edge of the
+// attribution tree. Keying edges rather than layers keeps a layer that shows
+// up under two different parents (e.g. solver.check under both engine.run and
+// chef.session) attributed to each separately.
+type profEdge struct {
+	parent, layer       string
+	count               int64
+	virtTotal, virtSelf int64
+	wallTotal, wallSelf int64
+}
+
+// renderProfile prints the hierarchical time-attribution tree built from span
+// events (cmd/chef -spans): per layer, the total and self share of virtual
+// time (the deterministic cost model: interpreter steps + solver
+// propagations) and of wall time (observational). Percentages are relative to
+// the summed root-span virtual total, so at every level a node's self%% plus
+// its children's total%% add up to the node's own total%%.
+func renderProfile(events []obs.Event) string {
+	edges := map[[2]string]*profEdge{}
+	var spans int64
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != obs.KindSpan {
+			continue
+		}
+		spans++
+		k := [2]string{ev.Parent, ev.Layer}
+		e := edges[k]
+		if e == nil {
+			e = &profEdge{parent: ev.Parent, layer: ev.Layer}
+			edges[k] = e
+		}
+		e.count++
+		e.virtTotal += ev.VirtCost
+		e.virtSelf += ev.SelfVirt
+		e.wallTotal += ev.WallCost
+		e.wallSelf += ev.SelfWall
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Time attribution profile (%d spans) ==\n", spans)
+	if spans == 0 {
+		b.WriteString("  no span events in trace (run with -spans)\n\n")
+		return b.String()
+	}
+	children := map[string][]*profEdge{}
+	for _, e := range edges {
+		children[e.parent] = append(children[e.parent], e)
+	}
+	for _, cs := range children {
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].virtTotal != cs[j].virtTotal {
+				return cs[i].virtTotal > cs[j].virtTotal
+			}
+			return cs[i].layer < cs[j].layer
+		})
+	}
+	roots := children[""]
+	var base int64
+	for _, e := range roots {
+		base += e.virtTotal
+	}
+	pct := func(v int64) float64 {
+		if base == 0 {
+			return 0
+		}
+		return 100 * float64(v) / float64(base)
+	}
+	fmt.Fprintf(&b, "  %-34s %8s %12s %12s %7s %7s %12s %12s\n",
+		"layer", "count", "virt-total", "virt-self", "total%", "self%", "wall-total", "wall-self")
+	var walk func(e *profEdge, depth int, path map[string]bool)
+	walk = func(e *profEdge, depth int, path map[string]bool) {
+		fmt.Fprintf(&b, "  %-34s %8d %12d %12d %6.1f%% %6.1f%% %12s %12s\n",
+			strings.Repeat("  ", depth)+e.layer, e.count, e.virtTotal, e.virtSelf,
+			pct(e.virtTotal), pct(e.virtSelf),
+			time.Duration(e.wallTotal), time.Duration(e.wallSelf))
+		if path[e.layer] {
+			return // self-recursive layer: children already attributed above
+		}
+		path[e.layer] = true
+		for _, c := range children[e.layer] {
+			walk(c, depth+1, path)
+		}
+		delete(path, e.layer)
+	}
+	for _, e := range roots {
+		walk(e, 0, map[string]bool{})
+	}
+	b.WriteString("\n")
+	return b.String()
 }
 
 // sessionAgg aggregates one session's events.

@@ -26,6 +26,7 @@ import (
 
 	"chef/internal/chef"
 	"chef/internal/faults"
+	"chef/internal/obs"
 	"chef/internal/obscli"
 	"chef/internal/packages"
 	"chef/internal/serve"
@@ -107,11 +108,17 @@ func main() {
 	eo := serve.ExecOptions{
 		Metrics: obsFlags.Registry(),
 		Tracer:  obsFlags.Tracer(),
+		Spans:   obsFlags.SpanProfiler(),
 		Faults:  plan,
 		Name:    fmt.Sprintf("%s/%s/%d", *pkgName, *strategy, *seed),
 	}
 	if persist != nil {
 		eo.Persist = persist
+		if obsFlags.SpansEnabled() {
+			// The flusher goroutine gets its own profiler (profilers are
+			// single-goroutine); its spans land in the same registry/trace.
+			persist.SetSpans(obs.NewSpanProfiler(obsFlags.Registry(), obsFlags.Tracer()))
+		}
 	}
 	res, err := serve.Execute(context.Background(), spec, eo)
 	if err != nil {

@@ -1,0 +1,150 @@
+// Package benchfmt defines the schema of the continuous benchmark
+// trajectory: the BENCH_<pr>.json files cmd/chef-bench writes at the repo
+// root, one per change that wants a performance footprint on record. Each
+// file is self-describing (schema version, seed, budgets, Go toolchain) so a
+// later reader can tell whether two points on the trajectory are comparable
+// before comparing them.
+//
+// The deterministic virtual-time core is what makes the trajectory
+// meaningful: Tests and VirtTime are bit-exact functions of (package, seed,
+// budgets), so any drift between two BENCH files with the same parameters is
+// a behavior change, not noise. Wall-clock fields are observational and may
+// drift with the host.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"chef/internal/obs"
+)
+
+// SchemaVersion identifies the file layout. Bump only on incompatible
+// changes; readers must refuse versions they do not know.
+const SchemaVersion = "chef-bench/v1"
+
+// File is one point on the benchmark trajectory.
+type File struct {
+	Schema string `json:"schema"`
+	// Bench names the matrix that produced the file (e.g. "fixed-matrix" or
+	// "micro"); files with different Bench values are not comparable.
+	Bench     string `json:"bench"`
+	Seed      int64  `json:"seed"`
+	Budget    int64  `json:"budget"`
+	StepLimit int64  `json:"step_limit"`
+	// Reps is the number of sessions (distinct seeds) per configuration.
+	Reps      int      `json:"reps"`
+	GoVersion string   `json:"go_version"`
+	Configs   []Config `json:"configs"`
+}
+
+// Config is one cell of the benchmark matrix.
+type Config struct {
+	Name     string `json:"name"`
+	Package  string `json:"package"`
+	Language string `json:"language"`
+	// Cache is "cold" (no persistent store) or "warm" (persistent store
+	// pre-populated by an identical unmeasured pass).
+	Cache   string `json:"cache"`
+	Workers int    `json:"workers"`
+	// Sessions ran; Tests and VirtTime are totals across them and are
+	// deterministic. WallNs is the measured wall time of the whole cell,
+	// observational only.
+	Sessions int   `json:"sessions"`
+	Tests    int64 `json:"tests"`
+	VirtTime int64 `json:"virt_time"`
+	WallNs   int64 `json:"wall_ns"`
+	// Spans is the per-layer time attribution of the cell (span profiler
+	// aggregates; see internal/obs). Virtual fields are deterministic, wall
+	// fields observational.
+	Spans []obs.SpanAggregate `json:"spans,omitempty"`
+}
+
+// Marshal renders the file as indented JSON with a trailing newline, the
+// committed on-disk form.
+func Marshal(f *File) ([]byte, error) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Parse decodes and validates a BENCH file.
+func Parse(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Validate checks the file's internal consistency, including the determinism
+// contract: every variant of a package (cold vs warm cache, serial vs
+// parallel workers) must report identical Tests and VirtTime, because the
+// persistent store's read side is fixed before a run and worker scheduling
+// never reaches the virtual clock. A violation means the determinism
+// guarantee broke, which is exactly what the bench smoke test exists to
+// catch.
+func (f *File) Validate() error {
+	if f.Schema != SchemaVersion {
+		return fmt.Errorf("schema %q, want %q", f.Schema, SchemaVersion)
+	}
+	if f.Bench == "" {
+		return fmt.Errorf("missing bench name")
+	}
+	if len(f.Configs) == 0 {
+		return fmt.Errorf("no configs")
+	}
+	if f.GoVersion == "" {
+		return fmt.Errorf("missing go_version")
+	}
+	type point struct{ tests, virt int64 }
+	first := map[string]point{}
+	firstName := map[string]string{}
+	for i, c := range f.Configs {
+		if c.Name == "" || c.Package == "" {
+			return fmt.Errorf("config %d: missing name or package", i)
+		}
+		if c.Cache != "cold" && c.Cache != "warm" {
+			return fmt.Errorf("config %s: cache %q, want cold or warm", c.Name, c.Cache)
+		}
+		if c.Workers < 1 || c.Sessions < 1 {
+			return fmt.Errorf("config %s: workers=%d sessions=%d, want >= 1", c.Name, c.Workers, c.Sessions)
+		}
+		if c.VirtTime <= 0 {
+			return fmt.Errorf("config %s: virt_time=%d, want > 0", c.Name, c.VirtTime)
+		}
+		var session *obs.SpanAggregate
+		for j := range c.Spans {
+			sp := &c.Spans[j]
+			if sp.Count <= 0 {
+				return fmt.Errorf("config %s: span %s: count=%d", c.Name, sp.Layer, sp.Count)
+			}
+			if sp.VirtSelf > sp.VirtTotal {
+				return fmt.Errorf("config %s: span %s: self %d > total %d", c.Name, sp.Layer, sp.VirtSelf, sp.VirtTotal)
+			}
+			if sp.Layer == obs.SpanChefSession {
+				session = sp
+			}
+		}
+		if session != nil && session.VirtTotal != c.VirtTime {
+			return fmt.Errorf("config %s: chef.session span total %d != virt_time %d",
+				c.Name, session.VirtTotal, c.VirtTime)
+		}
+		got := point{c.Tests, c.VirtTime}
+		if want, ok := first[c.Package]; ok {
+			if got != want {
+				return fmt.Errorf("determinism violation: %s (tests=%d virt=%d) disagrees with %s (tests=%d virt=%d) on package %s",
+					c.Name, got.tests, got.virt, firstName[c.Package], want.tests, want.virt, c.Package)
+			}
+		} else {
+			first[c.Package] = got
+			firstName[c.Package] = c.Name
+		}
+	}
+	return nil
+}

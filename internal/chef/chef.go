@@ -96,6 +96,12 @@ type Options struct {
 	// nil-check per site. Observation-only: a traced run's engine output is
 	// byte-identical to an untraced one.
 	Tracer obs.Tracer
+	// Spans, when non-nil, receives hierarchical profiler spans from every
+	// layer of this session (chef.session → engine.run → solver.check →
+	// blast/cache/persist). A SpanProfiler serves one goroutine, so
+	// multi-session drivers build one per session rather than sharing.
+	// Observation-only, like Tracer.
+	Spans *obs.SpanProfiler
 	// Name labels this session's trace events (multi-session drivers set it
 	// to the member/cell name).
 	Name string
@@ -157,6 +163,7 @@ type Session struct {
 
 	// Observability (nil when disabled).
 	tracer   obs.Tracer
+	spans    *obs.SpanProfiler
 	metrics  *obs.Registry
 	mLogPC   *obs.Counter
 	mTests   *obs.Counter
@@ -193,6 +200,7 @@ func NewSession(prog TestProgram, opts Options) *Session {
 		hlPaths: map[uint64]bool{},
 		faults:  inj,
 		tracer:  obs.WithSession(opts.Tracer, opts.Name),
+		spans:   opts.Spans,
 		metrics: opts.Metrics,
 	}
 	if s.metrics != nil {
@@ -225,6 +233,7 @@ func NewSession(prog TestProgram, opts Options) *Session {
 		ForkWeightDecay: opts.ForkWeightDecay,
 		Metrics:         opts.Metrics,
 		Tracer:          s.tracer,
+		Spans:           opts.Spans,
 	})
 	// CUPA-based strategies additionally report per-class selection counts.
 	if cs, ok := strat.(*cupa.Strategy); ok && (s.metrics != nil || s.tracer != nil) {
@@ -257,6 +266,11 @@ func (s *Session) RunContext(ctx context.Context, budget int64) []TestCase {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The whole exploration is one chef.session span; its virtual duration
+	// is the engine clock, which only advances inside nested engine.run
+	// spans, so the session's self time is zero by construction.
+	sp := s.spans.Start(obs.SpanChefSession)
+	defer func() { sp.End(s.eng.Clock()) }()
 	if s.tracer != nil {
 		s.tracer.Emit(&obs.Event{
 			Kind:     obs.KindSessionStart,

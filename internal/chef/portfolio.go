@@ -95,6 +95,12 @@ func RunPortfolioContext(ctx context.Context, members []PortfolioMember, opts Op
 		if childRegs != nil {
 			memberOpts.Metrics = childRegs[i]
 		}
+		if opts.Spans != nil {
+			// A SpanProfiler is single-goroutine: the caller's instance marks
+			// intent, each member gets its own over its child registry. Span
+			// aggregates are plain counters, so they merge like everything else.
+			memberOpts.Spans = obs.NewSpanProfiler(memberOpts.Metrics, obs.WithSession(opts.Tracer, memberOpts.Name))
+		}
 		s := NewSession(members[i].Prog, memberOpts)
 		perMember[i] = s.RunContext(ctx, share)
 		summaries[i] = s.Summary()

@@ -70,6 +70,12 @@ type Budgets struct {
 	// match the session's grid-cell index, so fault schedules are identical
 	// for every Parallel value.
 	Faults *faults.Plan
+	// Spans enables the hierarchical span profiler. Profilers are
+	// single-goroutine, so the harness builds one per session cell, writing
+	// into the cell's private child registry (merged into Metrics at cell
+	// end) and tagging span events with the session label. Observation-only:
+	// results stay byte-identical for every Parallel value.
+	Spans bool
 }
 
 // solverOptions builds the per-session solver options. The Persist field is
@@ -165,6 +171,9 @@ func runPackageCell(p *packages.Package, cfg Configuration, b Budgets, seed int6
 	if b.Metrics != nil {
 		child = obs.NewRegistry()
 		opts.Metrics = child
+	}
+	if b.Spans {
+		opts.Spans = obs.NewSpanProfiler(child, obs.WithSession(b.Tracer, opts.Name))
 	}
 	res := RunResult{Package: p.Name, Config: cfg.Name, Exceptions: map[string]bool{}}
 	var tests []chef.TestCase

@@ -113,6 +113,10 @@ type Options struct {
 	// Tracer, when non-nil, receives structured exploration events (forks,
 	// run ends). Disabled tracing costs one nil-check per site.
 	Tracer obs.Tracer
+	// Spans, when non-nil, profiles the engine's layers (engine.run spans,
+	// with the solver's spans nested inside). Single-goroutine, like the
+	// engine itself. Observation-only.
+	Spans *obs.SpanProfiler
 }
 
 // defaultUnknownRetries is the per-state retry budget for Unknown verdicts.
@@ -195,6 +199,7 @@ type Engine struct {
 
 	// Observability (all nil when disabled; observation-only).
 	tracer     obs.Tracer
+	spans      *obs.SpanProfiler
 	metrics    *obs.Registry
 	mForks     *obs.Counter
 	mDup       *obs.Counter
@@ -232,6 +237,9 @@ func NewEngine(prog Program, strategy Strategy, opts Options) *Engine {
 	if so.Tracer == nil {
 		so.Tracer = opts.Tracer
 	}
+	if so.Spans == nil {
+		so.Spans = opts.Spans
+	}
 	e := &Engine{
 		opts:       opts,
 		solver:     solver.New(so),
@@ -241,6 +249,7 @@ func NewEngine(prog Program, strategy Strategy, opts Options) *Engine {
 		visited:    map[uint64]bool{},
 		seenValues: map[concretizeKey]map[uint64]bool{},
 		tracer:     opts.Tracer,
+		spans:      opts.Spans,
 		metrics:    opts.Metrics,
 	}
 	if reg := opts.Metrics; reg != nil {
@@ -451,7 +460,11 @@ func (e *Engine) runWith(input symexpr.Assignment, flip *State) *RunInfo {
 
 // RunInitial performs the first run under default inputs.
 func (e *Engine) RunInitial() *RunInfo {
-	return e.runWith(symexpr.Assignment{}, nil)
+	sp := e.spans.Start(obs.SpanEngineRun)
+	c0 := e.clock
+	info := e.runWith(symexpr.Assignment{}, nil)
+	sp.End(e.clock - c0)
+	return info
 }
 
 // SelectAndRun picks the next pending state, synthesizes an input for it and
@@ -466,7 +479,19 @@ func (e *Engine) SelectAndRun() (*RunInfo, bool) {
 	return e.runState(st), true
 }
 
+// runState is wrapped in an engine.run span: its virtual duration is the
+// clock delta across the feasibility check plus the concrete run, so the
+// span's self time is exactly the interpreter-step cost (the nested
+// solver.check spans account for the propagation cost).
 func (e *Engine) runState(st *State) *RunInfo {
+	sp := e.spans.Start(obs.SpanEngineRun)
+	c0 := e.clock
+	info := e.runStateInner(st)
+	sp.End(e.clock - c0)
+	return info
+}
+
+func (e *Engine) runStateInner(st *State) *RunInfo {
 	before := e.solver.Stats().Propagations
 	res, model := e.solver.Check(st.pc.slice(), st.base)
 	e.chargeSolver(before)

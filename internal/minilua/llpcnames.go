@@ -1,0 +1,44 @@
+package minilua
+
+import "chef/internal/lowlevel"
+
+// LLPCName returns the human-readable site name of a MiniLua low-level
+// program counter ("" for PCs outside this interpreter). Counterpart of
+// minipy.LLPCName for the obs label resolver.
+func LLPCName(pc lowlevel.LLPC) string {
+	switch pc {
+	case llpcJumpCond:
+		return "lua/jump_cond"
+	case llpcForLoop:
+		return "lua/for_loop"
+	case llpcIntDivZero:
+		return "lua/int_div_zero"
+	case llpcIntSign:
+		return "lua/int_sign"
+	case llpcIntEq:
+		return "lua/int_eq"
+	case llpcStrEqFast:
+		return "lua/str_eq_fast"
+	case llpcStrEqFinal:
+		return "lua/str_eq_final"
+	case llpcStrLtByte:
+		return "lua/str_lt_byte"
+	case llpcStrFindPos:
+		return "lua/str_find_pos"
+	case llpcStrIntern:
+		return "lua/str_intern"
+	case llpcTableBucket:
+		return "lua/table_bucket"
+	case llpcTableKeyCmp:
+		return "lua/table_key_cmp"
+	case llpcTableArrayIdx:
+		return "lua/table_array_idx"
+	case llpcStrAlloc:
+		return "lua/str_alloc"
+	case llpcToNumber:
+		return "lua/to_number"
+	case llpcStrCase:
+		return "lua/str_case"
+	}
+	return ""
+}

@@ -1,0 +1,93 @@
+package minipy
+
+import "chef/internal/lowlevel"
+
+// LLPCName returns the human-readable site name of a MiniPy low-level
+// program counter ("" for PCs outside this interpreter). It backs the
+// obs label resolver so fork hot-spot vectors render as py/str_eq_fast
+// instead of raw hex in metric dumps and Prometheus scrapes.
+func LLPCName(pc lowlevel.LLPC) string {
+	switch pc {
+	case llpcJumpCond:
+		return "py/jump_cond"
+	case llpcBoolTruth:
+		return "py/bool_truth"
+	case llpcForIter:
+		return "py/for_iter"
+	case llpcExcMatch:
+		return "py/exc_match"
+	case llpcCompareDispatch:
+		return "py/compare_dispatch"
+	case llpcIntOverflow:
+		return "py/int_overflow"
+	case llpcIntSign:
+		return "py/int_sign"
+	case llpcIntDivZero:
+		return "py/int_div_zero"
+	case llpcIntIntern:
+		return "py/int_intern"
+	case llpcIntEq:
+		return "py/int_eq"
+	case llpcIntLt:
+		return "py/int_lt"
+	case llpcIntNonZero:
+		return "py/int_nonzero"
+	case llpcBigCarry:
+		return "py/big_carry"
+	case llpcBigNormalize:
+		return "py/big_normalize"
+	case llpcBigCmpDigit:
+		return "py/big_cmp_digit"
+	case llpcBigToStrLoop:
+		return "py/big_to_str_loop"
+	case llpcStrEqFast:
+		return "py/str_eq_fast"
+	case llpcStrEqFinal:
+		return "py/str_eq_final"
+	case llpcStrLtByte:
+		return "py/str_lt_byte"
+	case llpcStrFindPos:
+		return "py/str_find_pos"
+	case llpcStrCharIntern:
+		return "py/str_char_intern"
+	case llpcStrHashBucket:
+		return "py/str_hash_bucket"
+	case llpcStrIsSpace:
+		return "py/str_isspace"
+	case llpcStrIsDigit:
+		return "py/str_isdigit"
+	case llpcStrIsAlpha:
+		return "py/str_isalpha"
+	case llpcStrStrip:
+		return "py/str_strip"
+	case llpcStrSplit:
+		return "py/str_split"
+	case llpcStrReplace:
+		return "py/str_replace"
+	case llpcStrCount:
+		return "py/str_count"
+	case llpcStrAllocSize:
+		return "py/str_alloc_size"
+	case llpcDictBucket:
+		return "py/dict_bucket"
+	case llpcDictKeyCmp:
+		return "py/dict_key_cmp"
+	case llpcDictLookup:
+		return "py/dict_lookup"
+	case llpcListIndexCheck:
+		return "py/list_index_check"
+	case llpcListEq:
+		return "py/list_eq"
+	case llpcBuiltinOrd:
+		return "py/builtin_ord"
+	case llpcBuiltinChr:
+		return "py/builtin_chr"
+	case llpcBuiltinInt:
+		return "py/builtin_int"
+	case llpcRangeCond:
+		return "py/range_cond"
+	case llpcAssume:
+		return "py/assume"
+	}
+	return ""
+}

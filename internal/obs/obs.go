@@ -261,6 +261,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	vecs     map[string]*CounterVec
+	labelers map[string]func(uint64) string
 }
 
 // NewRegistry returns an empty registry.
@@ -321,6 +322,31 @@ func (r *Registry) CounterVec(name string) *CounterVec {
 	return v
 }
 
+// SetVecLabeler registers a label resolver for the named counter vec: every
+// snapshot (text dump, -metrics-json, /metrics, Prometheus exposition)
+// renders keys through f instead of raw hex. f returning "" falls back to the
+// hex form for that key. Labelers follow metrics through Merge, so child
+// registries inherit the parent's resolvers.
+func (r *Registry) SetVecLabeler(name string, f func(uint64) string) {
+	r.mu.Lock()
+	if r.labelers == nil {
+		r.labelers = map[string]func(uint64) string{}
+	}
+	r.labelers[name] = f
+	r.mu.Unlock()
+}
+
+// vecLabel renders one vec key through the registered labeler, falling back
+// to hex.
+func vecLabel(f func(uint64) string, k uint64) string {
+	if f != nil {
+		if s := f(k); s != "" {
+			return s
+		}
+	}
+	return fmt.Sprintf("0x%x", k)
+}
+
 // Merge folds every metric of src into r: counters and histograms add,
 // gauges add (a merged gauge is the sum over children — for MStatesPending
 // that is the total alive states across sessions). src should be quiescent;
@@ -347,6 +373,10 @@ func (r *Registry) Merge(src *Registry) {
 	for n, v := range src.vecs {
 		vecs[n] = v.Snapshot()
 	}
+	labelers := make(map[string]func(uint64) string, len(src.labelers))
+	for n, f := range src.labelers {
+		labelers[n] = f
+	}
 	src.mu.Unlock()
 
 	for n, v := range counters {
@@ -364,6 +394,16 @@ func (r *Registry) Merge(src *Registry) {
 			dst.At(k).Add(v)
 		}
 	}
+	r.mu.Lock()
+	for n, f := range labelers {
+		if _, ok := r.labelers[n]; !ok {
+			if r.labelers == nil {
+				r.labelers = map[string]func(uint64) string{}
+			}
+			r.labelers[n] = f
+		}
+	}
+	r.mu.Unlock()
 }
 
 // BucketCount is one non-empty histogram bucket in a snapshot.
@@ -417,6 +457,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for n, v := range r.vecs {
 		vecs[n] = v
 	}
+	labelers := make(map[string]func(uint64) string, len(r.labelers))
+	for n, f := range r.labelers {
+		labelers[n] = f
+	}
 	r.mu.Unlock()
 
 	out := Snapshot{
@@ -443,8 +487,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for n, v := range vecs {
 		m := map[string]int64{}
+		label := labelers[n]
 		for k, c := range v.Snapshot() {
-			m[fmt.Sprintf("0x%x", k)] = c
+			m[vecLabel(label, k)] = c
 		}
 		out.Vecs[n] = m
 	}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for a Registry.
+//
+// Naming: every metric is prefixed chef_ and has '.' and '-' mangled to '_'.
+// Counters get a _total suffix, gauges are bare, histograms expand into the
+// conventional _bucket/_sum/_count triplet with cumulative le bounds (our
+// base-2 buckets are [lo,hi] inclusive, so le equals each bucket's hi).
+// Counter vecs become labeled families ({key="..."}), rendered through the
+// registry's label resolvers. The span.* aggregate counters are folded into
+// five families labeled by layer instead of one unlabeled series per layer.
+
+// PromContentType is the Content-Type of the exposition format produced by
+// WriteProm.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName mangles a registry metric name into a Prometheus metric name:
+// chef_ prefix, [.-] replaced by _.
+func PromName(name string) string {
+	var b strings.Builder
+	b.WriteString("chef_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '.' || c == '-' {
+			c = '_'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// PromEscapeLabel escapes a label value per the exposition format.
+func PromEscapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// spanFamily maps one span.* aggregate counter onto a labeled Prometheus
+// family, returning ok=false for non-span names.
+func spanFamily(name string) (family, layer string, ok bool) {
+	rest, found := strings.CutPrefix(name, spanMetricPrefix)
+	if !found {
+		return "", "", false
+	}
+	for _, f := range [...]struct{ suffix, family string }{
+		{".virt.total", "chef_span_virt_total"},
+		{".virt.self", "chef_span_virt_self_total"},
+		{".wall_ns.total", "chef_span_wall_ns_total"},
+		{".wall_ns.self", "chef_span_wall_ns_self_total"},
+		{".count", "chef_span_count_total"},
+	} {
+		if l, found := strings.CutSuffix(rest, f.suffix); found {
+			return f.family, l, true
+		}
+	}
+	return "", "", false
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format.
+// Families are emitted in sorted name order so scrapes are deterministic for
+// fixed values.
+func (r *Registry) WriteProm(w io.Writer) {
+	snap := r.Snapshot()
+
+	type sample struct {
+		labels string // rendered {...} block, "" for none
+		value  string
+	}
+	families := map[string]struct {
+		typ     string
+		samples []sample
+	}{}
+	add := func(family, typ, labels, value string) {
+		f := families[family]
+		f.typ = typ
+		f.samples = append(f.samples, sample{labels: labels, value: value})
+		families[family] = f
+	}
+
+	for n, v := range snap.Counters {
+		if fam, layer, ok := spanFamily(n); ok {
+			add(fam, "counter", fmt.Sprintf(`{layer="%s"}`, PromEscapeLabel(layer)), fmt.Sprintf("%d", v))
+			continue
+		}
+		name := PromName(n)
+		if !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+		add(name, "counter", "", fmt.Sprintf("%d", v))
+	}
+	for n, v := range snap.Gauges {
+		add(PromName(n), "gauge", "", fmt.Sprintf("%d", v))
+	}
+	for n, h := range snap.Histograms {
+		name := PromName(n)
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.N
+			add(name+"_bucket", "histogram", fmt.Sprintf(`{le="%d"}`, b.Hi), fmt.Sprintf("%d", cum))
+		}
+		add(name+"_bucket", "histogram", `{le="+Inf"}`, fmt.Sprintf("%d", h.Count))
+		add(name+"_sum", "histogram", "", fmt.Sprintf("%d", h.Sum))
+		add(name+"_count", "histogram", "", fmt.Sprintf("%d", h.Count))
+	}
+	for n, m := range snap.Vecs {
+		name := PromName(n)
+		if !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+		for k, v := range m {
+			add(name, "counter", fmt.Sprintf(`{key="%s"}`, PromEscapeLabel(k)), fmt.Sprintf("%d", v))
+		}
+	}
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	typed := map[string]bool{}
+	for _, n := range names {
+		f := families[n]
+		// The three histogram series share one family name for TYPE purposes.
+		base := n
+		if f.typ == "histogram" {
+			base = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(base, "_bucket"), "_sum"), "_count")
+		}
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, f.typ)
+		}
+		if f.typ != "histogram" {
+			// Histogram buckets stay in cumulative le order; everything else
+			// sorts by label for deterministic scrapes.
+			sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		}
+		for _, s := range f.samples {
+			fmt.Fprintf(w, "%s%s %s\n", n, s.labels, s.value)
+		}
+	}
+}

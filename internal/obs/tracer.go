@@ -22,6 +22,7 @@ const (
 	KindFault        = "fault"         // an injected fault fired (site)
 	KindStateRequeue = "state-requeue" // an Unknown state was re-queued for retry
 	KindStateAbandon = "state-abandon" // a state was dropped after its retry budget
+	KindSpan         = "span"          // a profiler span closed (layer, self/total durations)
 )
 
 // Event is one structured exploration event. Fields are a flat union across
@@ -61,6 +62,13 @@ type Event struct {
 
 	// CUPA.
 	Class uint64 `json:"class,omitempty"`
+
+	// Profiler spans. VirtCost/WallCost above carry the span's total
+	// durations; SelfVirt/SelfWall exclude the totals of direct child spans.
+	Layer    string `json:"layer,omitempty"`
+	Parent   string `json:"parent,omitempty"`
+	SelfVirt int64  `json:"self_virt,omitempty"`
+	SelfWall int64  `json:"self_wall_ns,omitempty"`
 
 	// Fault injection and degradation.
 	Site    string `json:"site,omitempty"`    // fault: injection site

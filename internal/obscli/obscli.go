@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"chef/internal/obs"
+	"chef/internal/packages"
 )
 
 // Flags is the standard observability flag set. Register it on a FlagSet,
@@ -28,6 +29,9 @@ type Flags struct {
 	MetricsJSON string
 	// HTTPAddr serves expvar + pprof when non-empty (e.g. ":6060").
 	HTTPAddr string
+	// Spans enables the hierarchical span profiler (per-layer self/total
+	// time aggregates in the metrics dump, span events in the trace).
+	Spans bool
 
 	reg    *obs.Registry
 	tracer *obs.JSONL
@@ -39,11 +43,14 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&f.Metrics, "metrics", false, "print a metrics dump (counters, gauges, solver latency histograms, cache hit rates) at exit")
 	fs.StringVar(&f.MetricsJSON, "metrics-json", "", "write the metrics snapshot as JSON to this file")
 	fs.StringVar(&f.HTTPAddr, "httpobs", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address, e.g. :6060")
+	fs.BoolVar(&f.Spans, "spans", false, "profile per-layer self/total time (span.* metrics, span trace events; render with chef-trace -profile)")
 }
 
 // MetricsEnabled reports whether any metrics sink was requested.
 func (f *Flags) MetricsEnabled() bool {
-	return f.Metrics || f.MetricsJSON != "" || f.HTTPAddr != ""
+	// -spans implies a registry: the span aggregates need somewhere to live
+	// even when only the trace sink is open.
+	return f.Metrics || f.MetricsJSON != "" || f.HTTPAddr != "" || f.Spans
 }
 
 // Start opens the requested sinks: it creates the registry when any metrics
@@ -55,6 +62,7 @@ func (f *Flags) Start(publishName string) error {
 		if f.reg == nil {
 			f.reg = obs.NewRegistry()
 		}
+		f.reg.SetVecLabeler(obs.MForksByLLPC, packages.LLPCLabel)
 		if f.HTTPAddr != "" {
 			f.reg.Publish(publishName)
 			go func() {
@@ -97,6 +105,20 @@ func (f *Flags) Tracer() obs.Tracer {
 	}
 	return f.tracer
 }
+
+// SpanProfiler builds the span profiler requested by -spans, nil when the
+// flag is off. Call after Start (the registry and tracer must exist). The
+// profiler is single-goroutine; multi-session drivers should instead check
+// SpansEnabled and build one profiler per session.
+func (f *Flags) SpanProfiler() *obs.SpanProfiler {
+	if !f.Spans {
+		return nil
+	}
+	return obs.NewSpanProfiler(f.reg, f.Tracer())
+}
+
+// SpansEnabled reports whether -spans was given.
+func (f *Flags) SpansEnabled() bool { return f.Spans }
 
 // SetCacheGauges copies end-of-run query-cache occupancy into the dump-time
 // gauges (entries, evictions). Call just before Finish when a cache handle is

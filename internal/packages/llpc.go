@@ -1,0 +1,21 @@
+package packages
+
+import (
+	"chef/internal/lowlevel"
+	"chef/internal/minilua"
+	"chef/internal/minipy"
+)
+
+// LLPCLabel resolves a low-level program counter to its interpreter site
+// name across both front ends (their LLPC ranges are disjoint: 0x1000+ for
+// MiniPy, 0x2000+ for MiniLua). It is the label resolver the CLIs and the
+// server register for the engine.forks.by_llpc counter vec
+// (obs.Registry.SetVecLabeler), so hot-spot tables print py/jump_cond
+// instead of 0x1001. Returns "" for unknown PCs, which falls back to hex.
+func LLPCLabel(key uint64) string {
+	pc := lowlevel.LLPC(key)
+	if s := minipy.LLPCName(pc); s != "" {
+		return s
+	}
+	return minilua.LLPCName(pc)
+}

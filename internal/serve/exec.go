@@ -30,6 +30,9 @@ type ExecOptions struct {
 	Metrics *obs.Registry
 	// Tracer, when non-nil, receives the job's exploration events.
 	Tracer obs.Tracer
+	// Spans, when non-nil, profiles the job's layers (see obs.SpanProfiler).
+	// Single-goroutine: the server builds one per job.
+	Spans *obs.SpanProfiler
 	// Faults is the fault-injection plan; the session derives its injector
 	// from (plan seed, Name), and worker.stall rules match SessionIndex.
 	Faults *faults.Plan
@@ -82,6 +85,7 @@ func Execute(ctx context.Context, spec JobSpec, eo ExecOptions) (JobResult, erro
 		SolverOptions: solver.Options{Cache: eo.Cache, Mode: mode},
 		Metrics:       eo.Metrics,
 		Tracer:        eo.Tracer,
+		Spans:         eo.Spans,
 		Name:          eo.Name,
 		Faults:        eo.Faults,
 		SessionIndex:  eo.SessionIndex,

@@ -3,8 +3,11 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"chef/internal/chef"
@@ -203,21 +206,71 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.status(j))
 }
 
+// handleHealthz reports liveness plus the admission-relevant load: queue
+// depth, running count and the per-tenant running map, so a load balancer
+// can steer tenants away from a saturated instance. The status codes are
+// unchanged (200 healthy, 503 draining); only the body grew a JSON shape.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		_, _ = w.Write([]byte("draining\n"))
-		return
+	h := s.Health()
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
 	}
-	_, _ = w.Write([]byte("ok\n"))
+	writeJSON(w, code, h)
 }
 
-// handleMetrics renders the server-total registry as text, first mirroring
-// the persistent store's live traffic counters into it.
+// handleMetrics renders the server-total registry, first mirroring the
+// persistent store's live traffic counters into it. The format is
+// content-negotiated on the Accept header: application/json returns the
+// structured snapshot, text/plain (what Prometheus sends) returns the
+// exposition format with per-tenant and per-outcome labels, and anything
+// else (a bare curl) keeps the original human-readable text dump.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mirrorPersist()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.opts.Metrics.WriteText(w)
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "application/json"):
+		writeJSON(w, http.StatusOK, s.opts.Metrics.Snapshot())
+	case strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics"):
+		w.Header().Set("Content-Type", obs.PromContentType)
+		s.opts.Metrics.WriteProm(w)
+		s.writePromExtras(w)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.opts.Metrics.WriteText(w)
+	}
+}
+
+// writePromExtras appends the labeled serve-level families the flat registry
+// cannot express: the job ledger keyed by outcome and the live per-tenant
+// running gauge.
+func (s *Server) writePromExtras(w io.Writer) {
+	outcomes := []struct {
+		name string
+		c    *obs.Counter
+	}{
+		{"cancelled", s.mCancelled},
+		{"degraded", s.mDegraded},
+		{"failed", s.mFailed},
+		{"invalid", s.mInvalid},
+		{"rejected", s.mRejected},
+		{"submitted", s.mSubmitted},
+		{"succeeded", s.mSucceeded},
+	}
+	fmt.Fprintf(w, "# TYPE chef_serve_jobs_by_outcome_total counter\n")
+	for _, o := range outcomes {
+		fmt.Fprintf(w, "chef_serve_jobs_by_outcome_total{outcome=\"%s\"} %d\n", o.name, o.c.Value())
+	}
+	h := s.Health()
+	tenants := make([]string, 0, len(h.Tenants))
+	for t := range h.Tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	fmt.Fprintf(w, "# TYPE chef_serve_tenant_running gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "chef_serve_tenant_running{tenant=\"%s\"} %d\n", obs.PromEscapeLabel(t), h.Tenants[t])
+	}
 }
 
 // mirrorPersist copies the persistent store's cumulative counters into the

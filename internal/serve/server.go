@@ -8,6 +8,7 @@ import (
 
 	"chef/internal/faults"
 	"chef/internal/obs"
+	"chef/internal/packages"
 	"chef/internal/solver"
 )
 
@@ -129,6 +130,7 @@ func NewServer(opts Options) *Server {
 	if opts.Metrics == nil {
 		opts.Metrics = obs.NewRegistry()
 	}
+	opts.Metrics.SetVecLabeler(obs.MForksByLLPC, packages.LLPCLabel)
 	s := &Server{
 		opts:            opts,
 		jobs:            map[string]*Job{},
@@ -323,6 +325,43 @@ func (s *Server) Accounting() (submitted, terminal, queued, running int64) {
 	return
 }
 
+// Health is the /healthz payload: liveness plus the load numbers an
+// admission controller needs. Tenants maps tenant name to its running job
+// count (the anonymous "" tenant reports as "anonymous"); entries exist only
+// while at least one job of that tenant runs.
+type Health struct {
+	Status  string         `json:"status"` // "ok" | "draining"
+	Queued  int            `json:"queued"`
+	Running int            `json:"running"`
+	Workers int            `json:"workers"`
+	Tenants map[string]int `json:"tenants_running,omitempty"`
+}
+
+// Health snapshots the server's load under the lock.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{
+		Status:  "ok",
+		Queued:  len(s.queue),
+		Running: int(s.gRunning.Value()),
+		Workers: s.opts.Workers,
+	}
+	if s.draining {
+		h.Status = "draining"
+	}
+	if len(s.runningByTenant) > 0 {
+		h.Tenants = make(map[string]int, len(s.runningByTenant))
+		for t, n := range s.runningByTenant {
+			if t == "" {
+				t = "anonymous"
+			}
+			h.Tenants[t] = n
+		}
+	}
+	return h
+}
+
 // worker is one pool goroutine: claim the next runnable job, run it, repeat
 // until the server closes and the queue is empty.
 func (s *Server) worker() {
@@ -365,10 +404,13 @@ func (s *Server) nextJob() *Job {
 // it finishes) and a persistent-store view snapshotted at start.
 func (s *Server) runJob(j *Job) {
 	child := obs.NewRegistry()
+	child.SetVecLabeler(obs.MForksByLLPC, packages.LLPCLabel)
+	tracer := obs.Fanout(j.trace, s.opts.Tracer)
 	eo := ExecOptions{
 		Cache:        s.cache,
 		Metrics:      child,
-		Tracer:       obs.Fanout(j.trace, s.opts.Tracer),
+		Tracer:       tracer,
+		Spans:        obs.NewSpanProfiler(child, tracer),
 		Faults:       s.opts.Faults,
 		Name:         j.Tenant + "/" + j.ID,
 		SessionIndex: j.ordinal,
@@ -385,7 +427,12 @@ func (s *Server) runJob(j *Job) {
 				err = fmt.Errorf("job panicked: %v", r)
 			}
 		}()
+		// The serve.job span brackets the whole Execute call, so its wall
+		// time includes spec build/compile overhead the session never sees;
+		// its virtual duration is the session's, making its self virt zero.
+		sp := eo.Spans.Start(obs.SpanServeJob)
 		res, err = Execute(j.ctx, j.Spec, eo)
+		sp.End(res.Summary.VirtTime)
 	}()
 
 	s.mu.Lock()

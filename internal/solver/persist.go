@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"chef/internal/faults"
+	"chef/internal/obs"
 	"chef/internal/symexpr"
 )
 
@@ -123,6 +124,11 @@ type PersistentStore struct {
 	retriesN   atomic.Int64
 	writeErrsN atomic.Int64
 	lostN      atomic.Int64
+
+	// spans, when set, profiles physical flushes (layer persist.flush). The
+	// profiler is used only by the single flusher goroutine; the atomic makes
+	// SetSpans safe after the flush loop has started.
+	spans atomic.Pointer[obs.SpanProfiler]
 
 	flushCh chan struct{}
 	done    chan struct{}
@@ -246,6 +252,14 @@ func (p *PersistentStore) SetFaults(in *faults.Injector) {
 	p.mu.Lock()
 	p.faults = in
 	p.mu.Unlock()
+}
+
+// SetSpans installs a span profiler for the background flusher: every
+// physical flush attempt closes one persist.flush span (wall time only; the
+// flusher never touches the virtual clock). The profiler becomes the flusher
+// goroutine's private instance — do not share it with an engine.
+func (p *PersistentStore) SetSpans(sp *obs.SpanProfiler) {
+	p.spans.Store(sp)
 }
 
 // Corruption returns the load error that stopped record parsing, or nil if
@@ -450,7 +464,11 @@ func (p *PersistentStore) flush() (error, bool) {
 	in := p.faults
 	p.mu.Unlock()
 
+	// One persist.flush span per physical write attempt: wall time only, the
+	// flusher never touches the virtual clock.
+	sp := p.spans.Load().Start(obs.SpanPersistFlush)
 	n, err := writeFaulty(f, buf, in)
+	sp.End(0)
 	if err == nil {
 		p.mu.Lock()
 		p.flushFails = 0

@@ -98,6 +98,10 @@ type Options struct {
 	Metrics *obs.Registry
 	// Tracer, when non-nil, receives one structured event per Check call.
 	Tracer obs.Tracer
+	// Spans, when non-nil, receives hierarchical profiler spans: one
+	// solver.check span per query, with blast/cache/persist sub-spans. Like a
+	// Solver, a SpanProfiler serves a single goroutine. Purely observational.
+	Spans *obs.SpanProfiler
 	// Faults, when non-nil, injects deterministic solver faults (see
 	// internal/faults): a fired solver.unknown rule forces the verdict of an
 	// actually-solved query to Unknown, as if the propagation budget had
@@ -169,6 +173,7 @@ type Solver struct {
 
 	// Observability (all nil when disabled).
 	tracer     obs.Tracer
+	spans      *obs.SpanProfiler
 	now        func() int64 // virtual clock source for trace events
 	mQueries   *obs.Counter
 	mSat       *obs.Counter
@@ -218,7 +223,8 @@ func New(opts Options) *Solver {
 		s.hWall = reg.Histogram(obs.MSolverQueryWall)
 	}
 	s.tracer = opts.Tracer
-	s.observing = opts.Metrics != nil || opts.Tracer != nil
+	s.spans = opts.Spans
+	s.observing = opts.Metrics != nil || opts.Tracer != nil || opts.Spans != nil
 	return s
 }
 
@@ -265,9 +271,11 @@ func (s *Solver) Check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 	}
 	propsBefore := s.stats.Propagations
 	before := s.stats
+	sp := s.spans.Start(obs.SpanSolverCheck)
 	start := time.Now()
 	res, model := s.check(pc, base)
 	virt := s.stats.Propagations - propsBefore
+	sp.End(virt)
 	wall := time.Since(start).Nanoseconds()
 	cacheHit := s.stats.CacheHits > before.CacheHits
 	if s.mQueries != nil {
@@ -355,7 +363,11 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 	key := canonKey(canon)
 
 	if s.cache != nil {
+		// Cache lookups are free on the virtual clock (the cache exists to
+		// elide wall time); the span still attributes their wall cost.
+		csp := s.spans.Start(obs.SpanCacheLookup)
 		if r, m, ok := s.cache.Lookup(key, canon); ok {
+			csp.End(0)
 			s.stats.CacheHits++
 			s.stats.CacheHitsExact++
 			if r == Sat {
@@ -366,6 +378,7 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 		}
 		if s.opts.Mode == CacheSubsume {
 			if r, m, class := s.cache.LookupSubsume(canon); class != HitNone {
+				csp.End(0)
 				s.stats.CacheHits++
 				if class == HitSubsumeSat {
 					s.stats.CacheHitsSubsumeSat++
@@ -383,9 +396,11 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 			}
 		}
 		s.cache.Miss()
+		csp.End(0)
 	}
 
 	if s.opts.Persist != nil {
+		psp := s.spans.Start(obs.SpanPersistLookup)
 		if r, m, cost, ok := s.opts.Persist.Lookup(key, canon); ok {
 			// Replay the recorded solve cost so the virtual clock advances
 			// exactly as on a cold run, and count the query as solved so warm
@@ -394,6 +409,7 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 			s.stats.CacheHits++
 			s.stats.CacheHitsPersist++
 			s.stats.Propagations += cost
+			psp.End(cost) // the replayed cost is the hit's virtual duration
 			if s.cache != nil {
 				s.cache.Store(key, canon, r, m)
 			}
@@ -404,12 +420,14 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 			s.stats.UnsatQueries++
 			return Unsat, nil
 		}
+		psp.End(0)
 	}
 	if s.cache != nil || s.opts.Persist != nil {
 		s.stats.CacheMisses++
 	}
 
 	propsBefore := s.stats.Propagations
+	bsp := s.spans.Start(obs.SpanSolverBlast)
 	var res Result
 	var model symexpr.Assignment
 	if s.opts.Faults.Fire(faults.SolverUnknown) {
@@ -418,6 +436,7 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 		res, model = s.solveCNF(canon)
 	}
 	cost := s.stats.Propagations - propsBefore
+	bsp.End(cost)
 	if res != Unknown {
 		if s.cache != nil {
 			s.cache.Store(key, canon, res, model)

@@ -2,16 +2,18 @@
 // continuous benchmark trajectory and writes one schema-versioned JSON point
 // (BENCH_<pr>.json, see internal/benchfmt). The matrix is deliberately
 // small and fully deterministic: both interpreters, cold versus warm
-// persistent cache, serial versus parallel workers, all at seed 42. The
+// persistent cache, serial versus parallel workers, plus warm sharded-
+// exploration cells at 1, 2 and 4 shard workers, all at seed 42. The
 // deterministic columns (tests, virtual time, span virtual aggregates) make
 // drift between two trajectory points attributable to code changes; the
-// wall-clock columns record what the host actually paid.
+// wall-clock columns record what the host actually paid — including the
+// shard-scaling ratio (virtual throughput at 4 shards over 1 shard).
 //
 // Usage:
 //
-//	chef-bench -out BENCH_7.json
+//	chef-bench -out BENCH_8.json
 //	chef-bench -micro -out /tmp/bench.json   # 1-config smoke matrix for CI
-//	chef-bench -validate BENCH_7.json        # schema + determinism check
+//	chef-bench -validate BENCH_8.json        # schema + determinism check
 package main
 
 import (
@@ -42,7 +44,7 @@ func run() int {
 		budget   = flag.Int64("budget", 600_000, "virtual-time budget per session")
 		stepCap  = flag.Int64("steplimit", 30_000, "per-run hang threshold")
 		reps     = flag.Int("reps", 2, "sessions (distinct seeds) per configuration")
-		out      = flag.String("out", "BENCH_7.json", "output file")
+		out      = flag.String("out", "BENCH_8.json", "output file")
 		bench    = flag.String("bench", "fixed-matrix", "matrix name recorded in the file")
 		micro    = flag.Bool("micro", false, "run the 1-config smoke matrix (CI): simplejson, cold+warm, serial, 1 rep, reduced budget")
 		validate = flag.String("validate", "", "validate an existing BENCH file and exit")
@@ -68,9 +70,14 @@ func run() int {
 	pkgNames := []string{"simplejson", "JSON"}
 	caches := []string{"cold", "warm"}
 	workerCounts := []int{1, 4}
+	// Sharded cells run warm (the persist view is the shared warmth layer of
+	// a sharded session) at 1, 2 and 4 epoch workers; the 1-shard cell is the
+	// sharded semantics' own serial baseline for the scaling ratio.
+	shardCounts := []int{1, 2, 4}
 	if *micro {
 		pkgNames = []string{"simplejson"}
 		workerCounts = []int{1}
+		shardCounts = []int{1, 2}
 		*reps = 1
 		*bench = "micro"
 		if *budget > 200_000 {
@@ -121,7 +128,7 @@ func run() int {
 		}
 		for _, cache := range caches {
 			for _, workers := range workerCounts {
-				c, err := runCell(p, cfg, base, cache, workers, warmFile)
+				c, err := runCell(p, cfg, base, cache, workers, 0, warmFile)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "chef-bench: %s: %v\n", c.Name, err)
 					return 1
@@ -131,6 +138,17 @@ func run() int {
 				file.Configs = append(file.Configs, c)
 			}
 		}
+		for _, shards := range shardCounts {
+			c, err := runCell(p, cfg, base, "warm", 1, shards, warmFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chef-bench: %s: %v\n", c.Name, err)
+				return 1
+			}
+			fmt.Printf("%-32s tests=%-5d virt=%-10d wall=%s\n",
+				c.Name, c.Tests, c.VirtTime, time.Duration(c.WallNs).Round(time.Millisecond))
+			file.Configs = append(file.Configs, c)
+		}
+		printShardScaling(p.Name, file.Configs)
 	}
 
 	if err := file.Validate(); err != nil {
@@ -166,20 +184,28 @@ func prewarm(p *packages.Package, cfg experiments.Configuration, b experiments.B
 
 // runCell measures one matrix cell: Reps sessions of p under cfg, totals
 // read from a cell-private metrics registry (sessions merge their child
-// registries into it, so totals are schedule-independent).
+// registries into it, so totals are schedule-independent). shards > 0 runs
+// each session as a sharded exploration (warm persist shared, private
+// in-memory caches) driven by up to shards epoch workers.
 func runCell(p *packages.Package, cfg experiments.Configuration, b experiments.Budgets,
-	cache string, workers int, warmFile string) (benchfmt.Config, error) {
+	cache string, workers, shards int, warmFile string) (benchfmt.Config, error) {
+	name := fmt.Sprintf("%s/%s/w%d", p.Name, cache, workers)
+	if shards > 0 {
+		name = fmt.Sprintf("%s/%s/s%d", p.Name, cache, shards)
+	}
 	c := benchfmt.Config{
-		Name:     fmt.Sprintf("%s/%s/w%d", p.Name, cache, workers),
+		Name:     name,
 		Package:  p.Name,
 		Language: string(p.Lang),
 		Cache:    cache,
 		Workers:  workers,
+		Shards:   shards,
 		Sessions: b.Reps,
 	}
 	reg := obs.NewRegistry()
 	b.Metrics = reg
 	b.Parallel = workers
+	b.Shards = shards
 	if cache == "warm" {
 		store, err := solver.OpenPersistentStore(warmFile)
 		if err != nil {
@@ -191,7 +217,14 @@ func runCell(p *packages.Package, cfg experiments.Configuration, b experiments.B
 	start := time.Now()
 	experiments.RunRepeated(p, cfg, b)
 	c.WallNs = int64(time.Since(start))
-	c.Tests = reg.Counter(obs.MChefTests).Value()
+	if shards > 0 {
+		// Cell sessions count their pre-dedup tests under chef.tests; the
+		// cross-range deduplicated total is the comparable one.
+		c.Tests = reg.Counter(obs.MChefTestsMerged).Value()
+		c.VirtMakespan = reg.Counter(obs.MShardVirtMakespan).Value()
+	} else {
+		c.Tests = reg.Counter(obs.MChefTests).Value()
+	}
 	c.Spans = reg.SpanAggregates()
 	for _, sp := range c.Spans {
 		if sp.Layer == obs.SpanChefSession {
@@ -199,4 +232,39 @@ func runCell(p *packages.Package, cfg experiments.Configuration, b experiments.B
 		}
 	}
 	return c, nil
+}
+
+// printShardScaling reports the scaling payoff of sharding: the ratio of
+// virtual throughput (VirtTime / VirtMakespan, virtual time explored per
+// unit of the epoch schedule's critical path) between the 4-shard and
+// 1-shard warm cells of one package. The makespan is the deterministic
+// analogue of parallel wall time — at 1 shard it equals VirtTime, at 4 it
+// is the per-epoch max worker load summed — so the ratio measures how well
+// the range partition balances, independent of host core count. The
+// deterministic result columns of those cells are identical by
+// construction; only the makespan varies with the worker count.
+func printShardScaling(pkg string, configs []benchfmt.Config) {
+	var s1, s4 *benchfmt.Config
+	for i := range configs {
+		c := &configs[i]
+		if c.Package != pkg || c.Shards == 0 {
+			continue
+		}
+		switch c.Shards {
+		case 1:
+			s1 = c
+		case 4:
+			s4 = c
+		}
+	}
+	if s1 == nil || s4 == nil {
+		return
+	}
+	if s1.VirtMakespan <= 0 || s4.VirtMakespan <= 0 {
+		return
+	}
+	t1 := float64(s1.VirtTime) / float64(s1.VirtMakespan)
+	t4 := float64(s4.VirtTime) / float64(s4.VirtMakespan)
+	fmt.Printf("%-32s 4-shard virtual throughput %.2fx the 1-shard baseline\n",
+		pkg+" shard scaling", t4/t1)
 }

@@ -35,6 +35,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base seed")
 		frames   = flag.Int("frames", 4, "max symbolic frames for fig12")
 		parallel = flag.Int("parallel", 0, "worker goroutines for the session grid (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+		shards   = flag.Int("shards", 0, "sharded exploration per session cell: split the path space across signature-subtree ranges driven by up to N epoch workers (0 = plain sessions; output is identical for every N >= 1)")
 		shared   = flag.Bool("sharedcache", false, "share one counterexample cache across all sessions (throughput knob; models may then depend on scheduling)")
 		cmode    = flag.String("cachemode", "exact", "counterexample cache lookup layers: exact | subsume")
 		cfile    = flag.String("cachefile", "", "persistent counterexample cache: load solved queries from this file at startup, append new ones")
@@ -50,6 +51,7 @@ func main() {
 	}
 	b := experiments.Budgets{
 		Time: *budget, StepLimit: *stepCap, Reps: *reps, Seed: *seed, Parallel: *parallel,
+		Shards:  *shards,
 		Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer(), Spans: obsFlags.SpansEnabled(),
 	}
 	if *shared {

@@ -47,6 +47,11 @@ type Config struct {
 	// pre-populated by an identical unmeasured pass).
 	Cache   string `json:"cache"`
 	Workers int    `json:"workers"`
+	// Shards, when > 0, marks a sharded-exploration cell (chef.ShardedSession
+	// with up to Shards epoch workers). Sharded cells are deterministic across
+	// shard counts but follow different semantics than plain cells, so the
+	// determinism check groups them separately per package.
+	Shards int `json:"shards,omitempty"`
 	// Sessions ran; Tests and VirtTime are totals across them and are
 	// deterministic. WallNs is the measured wall time of the whole cell,
 	// observational only.
@@ -54,6 +59,13 @@ type Config struct {
 	Tests    int64 `json:"tests"`
 	VirtTime int64 `json:"virt_time"`
 	WallNs   int64 `json:"wall_ns"`
+	// VirtMakespan, for sharded cells, is the virtual-time critical path of
+	// the epoch schedule (per epoch, the max worker load; summed). It is
+	// deterministic per shard count but a function of it — VirtTime at 1
+	// shard, shrinking toward VirtTime/shards as workers balance — so it
+	// carries the shard-scaling signal: VirtTime/VirtMakespan is the cell's
+	// virtual throughput.
+	VirtMakespan int64 `json:"virt_makespan,omitempty"`
 	// Spans is the per-layer time attribution of the cell (span profiler
 	// aggregates; see internal/obs). Virtual fields are deterministic, wall
 	// fields observational.
@@ -84,11 +96,13 @@ func Parse(data []byte) (*File, error) {
 
 // Validate checks the file's internal consistency, including the determinism
 // contract: every variant of a package (cold vs warm cache, serial vs
-// parallel workers) must report identical Tests and VirtTime, because the
-// persistent store's read side is fixed before a run and worker scheduling
-// never reaches the virtual clock. A violation means the determinism
-// guarantee broke, which is exactly what the bench smoke test exists to
-// catch.
+// parallel workers, 1-shard vs N-shard) must report identical Tests and
+// VirtTime, because the persistent store's read side is fixed before a run
+// and worker scheduling never reaches the virtual clock. Plain and sharded
+// cells of one package form two separate determinism groups — the sharded
+// semantics (range cells, epoch slicing) legitimately differ from the plain
+// single-session path. A violation means the determinism guarantee broke,
+// which is exactly what the bench smoke test exists to catch.
 func (f *File) Validate() error {
 	if f.Schema != SchemaVersion {
 		return fmt.Errorf("schema %q, want %q", f.Schema, SchemaVersion)
@@ -135,15 +149,28 @@ func (f *File) Validate() error {
 			return fmt.Errorf("config %s: chef.session span total %d != virt_time %d",
 				c.Name, session.VirtTotal, c.VirtTime)
 		}
+		if c.Shards < 0 {
+			return fmt.Errorf("config %s: shards=%d, want >= 0", c.Name, c.Shards)
+		}
+		if c.Shards > 0 {
+			if c.VirtMakespan <= 0 || c.VirtMakespan > c.VirtTime {
+				return fmt.Errorf("config %s: virt_makespan=%d, want in (0, virt_time=%d]",
+					c.Name, c.VirtMakespan, c.VirtTime)
+			}
+		}
+		key := c.Package
+		if c.Shards > 0 {
+			key += "|sharded"
+		}
 		got := point{c.Tests, c.VirtTime}
-		if want, ok := first[c.Package]; ok {
+		if want, ok := first[key]; ok {
 			if got != want {
 				return fmt.Errorf("determinism violation: %s (tests=%d virt=%d) disagrees with %s (tests=%d virt=%d) on package %s",
-					c.Name, got.tests, got.virt, firstName[c.Package], want.tests, want.virt, c.Package)
+					c.Name, got.tests, got.virt, firstName[key], want.tests, want.virt, c.Package)
 			}
 		} else {
-			first[c.Package] = got
-			firstName[c.Package] = c.Name
+			first[key] = got
+			firstName[key] = c.Name
 		}
 	}
 	return nil

@@ -1,0 +1,128 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+
+	"chef/internal/obs"
+)
+
+func validFile() *File {
+	return &File{
+		Schema:    SchemaVersion,
+		Bench:     "test-matrix",
+		Seed:      42,
+		Budget:    600_000,
+		StepLimit: 30_000,
+		Reps:      2,
+		GoVersion: "go1.0-test",
+		Configs: []Config{
+			{
+				Name: "pkg/cold/w1", Package: "pkg", Language: "python",
+				Cache: "cold", Workers: 1, Sessions: 2,
+				Tests: 10, VirtTime: 1000, WallNs: 5,
+			},
+			{
+				Name: "pkg/warm/w4", Package: "pkg", Language: "python",
+				Cache: "warm", Workers: 4, Sessions: 2,
+				Tests: 10, VirtTime: 1000, WallNs: 5,
+			},
+		},
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := validFile()
+	data, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Configs) != len(f.Configs) || got.Seed != f.Seed {
+		t.Fatalf("round trip mangled the file: %+v", got)
+	}
+}
+
+func TestValidateCatchesDeterminismDrift(t *testing.T) {
+	f := validFile()
+	f.Configs[1].VirtTime = 999
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "determinism violation") {
+		t.Fatalf("err = %v, want determinism violation", err)
+	}
+}
+
+// TestShardedCellsGroupSeparately: sharded cells follow different semantics
+// than plain cells of the same package, so they form their own determinism
+// group — differing from the plain cells is fine, differing from each other
+// is a violation.
+func TestShardedCellsGroupSeparately(t *testing.T) {
+	f := validFile()
+	f.Configs = append(f.Configs,
+		Config{
+			Name: "pkg/warm/s1", Package: "pkg", Language: "python",
+			Cache: "warm", Workers: 1, Shards: 1, Sessions: 2,
+			Tests: 12, VirtTime: 1100, VirtMakespan: 1100, WallNs: 5,
+		},
+		Config{
+			Name: "pkg/warm/s4", Package: "pkg", Language: "python",
+			Cache: "warm", Workers: 1, Shards: 4, Sessions: 2,
+			Tests: 12, VirtTime: 1100, VirtMakespan: 400, WallNs: 5,
+		},
+	)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("sharded cells with their own group failed validation: %v", err)
+	}
+	f.Configs[3].Tests = 13
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "determinism violation") {
+		t.Fatalf("err = %v, want determinism violation between sharded cells", err)
+	}
+}
+
+// TestValidateShardedMakespanBounds: a sharded cell must carry a makespan in
+// (0, VirtTime] — it is the scaling signal the trajectory records.
+func TestValidateShardedMakespanBounds(t *testing.T) {
+	for _, bad := range []int64{0, -1, 1101} {
+		f := validFile()
+		f.Configs = append(f.Configs, Config{
+			Name: "pkg/warm/s4", Package: "pkg", Language: "python",
+			Cache: "warm", Workers: 1, Shards: 4, Sessions: 2,
+			Tests: 12, VirtTime: 1100, VirtMakespan: bad, WallNs: 5,
+		})
+		if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "virt_makespan") {
+			t.Fatalf("makespan %d: err = %v, want virt_makespan bound error", bad, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*File)
+		want string
+	}{
+		{"schema", func(f *File) { f.Schema = "other/v9" }, "schema"},
+		{"bench", func(f *File) { f.Bench = "" }, "bench"},
+		{"configs", func(f *File) { f.Configs = nil }, "no configs"},
+		{"goversion", func(f *File) { f.GoVersion = "" }, "go_version"},
+		{"cache", func(f *File) { f.Configs[0].Cache = "tepid" }, "cache"},
+		{"workers", func(f *File) { f.Configs[0].Workers = 0 }, "workers"},
+		{"virt", func(f *File) { f.Configs[0].VirtTime = 0 }, "virt_time"},
+		{"shards", func(f *File) { f.Configs[0].Shards = -1 }, "shards"},
+		{"span self", func(f *File) {
+			f.Configs[0].Spans = []obs.SpanAggregate{{Layer: "x", Count: 1, VirtSelf: 2, VirtTotal: 1}}
+		}, "self"},
+		{"session span", func(f *File) {
+			f.Configs[0].Spans = []obs.SpanAggregate{{Layer: obs.SpanChefSession, Count: 1, VirtTotal: 7}}
+		}, "virt_time"},
+	}
+	for _, tc := range cases {
+		f := validFile()
+		tc.mut(f)
+		if err := f.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

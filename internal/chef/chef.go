@@ -113,6 +113,11 @@ type Options struct {
 	// SessionIndex identifies this session among its siblings (portfolio
 	// member or harness cell index); worker.stall fault rules match on it.
 	SessionIndex int
+	// router, when non-nil, confines this session's engine to its own
+	// signature range (path-space sharding). Only ShardedSession sets it;
+	// it is unexported because a routed session is only meaningful as a
+	// range cell under a coordinator that delivers the handoffs.
+	router lowlevel.Router
 }
 
 // TestCase is one generated high-level test case: a concrete input
@@ -234,6 +239,7 @@ func NewSession(prog TestProgram, opts Options) *Session {
 		Metrics:         opts.Metrics,
 		Tracer:          s.tracer,
 		Spans:           opts.Spans,
+		Router:          opts.router,
 	})
 	// CUPA-based strategies additionally report per-class selection counts.
 	if cs, ok := strat.(*cupa.Strategy); ok && (s.metrics != nil || s.tracer != nil) {

@@ -23,6 +23,7 @@ import (
 	"chef/internal/obs"
 	"chef/internal/packages"
 	"chef/internal/solver"
+	"chef/internal/symexpr"
 )
 
 // Budgets collects the virtual-time knobs of a run, standing in for the
@@ -41,6 +42,13 @@ type Budgets struct {
 	// execution. Results are deterministic and byte-identical for every
 	// value (sessions are isolated; gathering preserves grid order).
 	Parallel int
+	// Shards, when >= 1, runs every session cell as a sharded exploration
+	// (chef.ShardedSession) with up to Shards epoch workers. Results are
+	// byte-identical for every value >= 1 — the worker count is scheduling,
+	// not semantics — but the sharded semantics differ from the plain
+	// single-session path, so 0 (the default) keeps existing goldens
+	// stable.
+	Shards int
 	// Cache, when non-nil, is a counterexample cache shared by every session
 	// of the run (cross-session hit reuse). nil keeps the default private
 	// per-session caches, which additionally guarantees bit-exact
@@ -176,19 +184,18 @@ func runPackageCell(p *packages.Package, cfg Configuration, b Budgets, seed int6
 		opts.Spans = obs.NewSpanProfiler(child, obs.WithSession(b.Tracer, opts.Name))
 	}
 	res := RunResult{Package: p.Name, Config: cfg.Name, Exceptions: map[string]bool{}}
-	var tests []chef.TestCase
-	var session *chef.Session
 	covered := map[int]bool{}
 	coverable := 1
+	var prog chef.TestProgram
+	var replay func(input symexpr.Assignment)
 
 	switch p.Lang {
 	case packages.Python:
 		pt := p.PyTest(cfg.PyCfg)
-		session = chef.NewSession(pt.Program(), opts)
-		tests = session.Run(b.Time)
+		prog = pt.Program()
 		coverable = len(pt.Prog().CoverableLines())
-		for _, tc := range tests {
-			rep := pt.Replay(tc.Input, b.StepLimit)
+		replay = func(input symexpr.Assignment) {
+			rep := pt.Replay(input, b.StepLimit)
 			for l := range rep.Lines {
 				covered[l] = true
 			}
@@ -196,23 +203,37 @@ func runPackageCell(p *packages.Package, cfg Configuration, b Budgets, seed int6
 		}
 	default:
 		lt := p.LuaTest(cfg.LuaCfg)
-		session = chef.NewSession(lt.Program(), opts)
-		tests = session.Run(b.Time)
+		prog = lt.Program()
 		coverable = len(lt.Prog().CoverableLines())
-		for _, tc := range tests {
-			rep := lt.Replay(tc.Input, b.StepLimit)
+		replay = func(input symexpr.Assignment) {
+			rep := lt.Replay(input, b.StepLimit)
 			for l := range rep.Lines {
 				covered[l] = true
 			}
 			classify(&res, rep.Result, rep.Status)
 		}
 	}
+	var tests []chef.TestCase
+	if b.Shards >= 1 {
+		ss := chef.NewShardedSession(prog, opts, b.Shards)
+		tests = ss.Run(b.Time)
+		res.LLPaths = ss.Stats().LLPaths
+		res.Series = ss.Series()
+		res.VirtTime = ss.Clock()
+		res.Solver = ss.SolverStats()
+	} else {
+		session := chef.NewSession(prog, opts)
+		tests = session.Run(b.Time)
+		res.LLPaths = session.Engine().Stats().LLPaths
+		res.Series = session.Series()
+		res.VirtTime = session.Engine().Clock()
+		res.Solver = session.Engine().Solver().Stats()
+	}
+	for _, tc := range tests {
+		replay(tc.Input)
+	}
 	res.HLTests = len(tests)
-	res.LLPaths = session.Engine().Stats().LLPaths
 	res.Coverage = float64(len(covered)) / float64(coverable)
-	res.Series = session.Series()
-	res.VirtTime = session.Engine().Clock()
-	res.Solver = session.Engine().Solver().Stats()
 	recordSession(res.Solver)
 	if child != nil {
 		b.Metrics.Merge(child)

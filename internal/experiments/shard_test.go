@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"chef/internal/packages"
+)
+
+// TestRunPackageShardedDeterminism proves the harness-level sharding
+// property on both interpreters: a sharded run's RunResult — tests,
+// low-level paths, coverage, series, virtual time, solver traffic — is
+// identical whether the range cells are driven by 1 or 4 epoch workers.
+func TestRunPackageShardedDeterminism(t *testing.T) {
+	cfg := FourConfigurations(true)[3]
+	for _, name := range []string{"simplejson", "JSON"} {
+		p, ok := packages.ByName(name)
+		if !ok {
+			t.Fatalf("package %q missing", name)
+		}
+		run := func(shards int) RunResult {
+			b := QuickBudgets()
+			b.Time = 300_000
+			b.Shards = shards
+			return RunPackage(p, cfg, b, 42)
+		}
+		serial := run(1)
+		if serial.HLTests == 0 {
+			t.Fatalf("%s: sharded run found no tests; comparison is vacuous", name)
+		}
+		multi := run(4)
+		if !reflect.DeepEqual(serial, multi) {
+			t.Fatalf("%s: sharded run diverged between 1 and 4 workers:\nserial %+v\nmulti  %+v",
+				name, serial, multi)
+		}
+	}
+}

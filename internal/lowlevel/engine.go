@@ -117,6 +117,26 @@ type Options struct {
 	// with the solver's spans nested inside). Single-goroutine, like the
 	// engine itself. Observation-only.
 	Spans *obs.SpanProfiler
+	// Router, when non-nil, restricts this engine to its own signature
+	// range: alternates and trail marks outside it are handed off instead
+	// of being queued or recorded locally (path-space sharding).
+	Router Router
+}
+
+// Router partitions the decision-signature space across sibling engines
+// (path-space sharding, see internal/chef's ShardedSession). When an
+// engine has a router, alternates and trail signatures outside its own
+// range are handed off instead of entering the local visited set or
+// strategy queue; the owning engine receives them via InjectState /
+// InjectVisited at an epoch barrier. Implementations are called only from
+// the engine's own goroutine and need no synchronization of their own.
+type Router interface {
+	// Owns reports whether sig belongs to this engine's range.
+	Owns(sig uint64) bool
+	// HandOff buffers a state whose signature another engine owns.
+	HandOff(st *State)
+	// NoteVisited buffers a trail signature another engine owns.
+	NoteVisited(sig uint64)
 }
 
 // defaultUnknownRetries is the per-state retry budget for Unknown verdicts.
@@ -156,6 +176,9 @@ type Stats struct {
 	RequeuedStates  int64
 	AbandonedStates int64
 	Divergences     int64
+	// HandedOff counts alternates routed to a sibling engine's range
+	// instead of being queued locally (0 without a Router).
+	HandedOff int64
 }
 
 // Add folds another snapshot into s, field by field. It is the merge helper
@@ -172,6 +195,7 @@ func (s *Stats) Add(o Stats) {
 	s.RequeuedStates += o.RequeuedStates
 	s.AbandonedStates += o.AbandonedStates
 	s.Divergences += o.Divergences
+	s.HandedOff += o.HandedOff
 }
 
 // Program is the entry point the CHEF layer hands to the engine: one full
@@ -184,12 +208,23 @@ type concretizeKey struct {
 }
 
 // Engine drives concolic exploration of a Program.
+//
+// Concurrency contract: an Engine is single-owner. All methods — including
+// the read accessors Stats, Clock, Pending, Solver and Rand, which touch
+// the same unsynchronized fields the exploration loop mutates — must be
+// called from the goroutine currently driving the engine. Ownership may
+// move between goroutines only across a happens-before edge (channel,
+// WaitGroup, mutex), which is how the sharded coordinator migrates cells
+// between epoch workers. Code that needs engine numbers while another
+// goroutine may be driving it must read a barrier-published Snapshot
+// (see chef.ShardedSession.Progress) instead of calling accessors.
 type Engine struct {
 	opts     Options
 	solver   *solver.Solver
 	strategy Strategy
 	prog     Program
 	rng      *rand.Rand
+	router   Router
 
 	visited    map[uint64]bool // explored or queued decision signatures
 	seenValues map[concretizeKey]map[uint64]bool
@@ -246,6 +281,7 @@ func NewEngine(prog Program, strategy Strategy, opts Options) *Engine {
 		strategy:   strategy,
 		prog:       prog,
 		rng:        rand.New(rand.NewSource(opts.Seed)),
+		router:     opts.Router,
 		visited:    map[uint64]bool{},
 		seenValues: map[concretizeKey]map[uint64]bool{},
 		tracer:     opts.Tracer,
@@ -294,7 +330,54 @@ func (e *Engine) Stats() Stats { return e.stats }
 // Pending returns the number of queued states.
 func (e *Engine) Pending() int { return e.strategy.Len() }
 
-func (e *Engine) markVisited(sig uint64) { e.visited[sig] = true }
+func (e *Engine) markVisited(sig uint64) {
+	if e.router != nil && !e.router.Owns(sig) {
+		e.router.NoteVisited(sig)
+		return
+	}
+	e.visited[sig] = true
+}
+
+// InjectVisited records a trail signature observed by a sibling engine.
+// Sharding only: called by the coordinator at an epoch barrier, before
+// InjectState deliveries, so a noted path suppresses a later state with
+// the same signature deterministically.
+func (e *Engine) InjectVisited(sig uint64) { e.visited[sig] = true }
+
+// InjectState delivers a state handed off by a sibling engine whose fork
+// landed in this engine's range. It applies the same visited-signature
+// dedup a local fork gets and reports whether the state was queued.
+// Sharding only: called by the coordinator at an epoch barrier.
+func (e *Engine) InjectState(st *State) bool {
+	if e.visited[st.Sig] {
+		e.stats.DupStates++
+		if e.metrics != nil {
+			e.mDup.Inc()
+		}
+		return false
+	}
+	e.visited[st.Sig] = true
+	e.strategy.Add(st)
+	if e.metrics != nil {
+		e.mPending.Set(int64(e.strategy.Len()))
+	}
+	return true
+}
+
+// Snapshot is the engine's merge-time read surface in one value copy.
+type Snapshot struct {
+	Stats   Stats
+	Clock   int64
+	Pending int
+}
+
+// Snapshot captures Stats, Clock and Pending together. Like every other
+// engine method it must be called with engine ownership (see the Engine
+// concurrency contract); the returned value is then safe to publish to
+// other goroutines.
+func (e *Engine) Snapshot() Snapshot {
+	return Snapshot{Stats: e.stats, Clock: e.clock, Pending: e.strategy.Len()}
+}
 
 func (e *Engine) chargeSolver(propsBefore int64) {
 	e.clock += e.solver.Stats().Propagations - propsBefore
@@ -326,14 +409,17 @@ func (e *Engine) registerAlternate(m *Machine, llpc LLPC, alt *symexpr.Expr, alt
 			Depth:    m.nDecisions,
 		})
 	}
-	if e.visited[altSig] {
-		e.stats.DupStates++
-		if e.metrics != nil {
-			e.mDup.Inc()
+	routed := e.router != nil && !e.router.Owns(altSig)
+	if !routed {
+		if e.visited[altSig] {
+			e.stats.DupStates++
+			if e.metrics != nil {
+				e.mDup.Inc()
+			}
+			return
 		}
-		return
+		e.visited[altSig] = true
 	}
-	e.visited[altSig] = true
 	st := &State{
 		pc:           &pcNode{parent: m.pc, c: alt, depth: depthOf(m.pc) + 1},
 		base:         m.assign.Clone(),
@@ -360,6 +446,14 @@ func (e *Engine) registerAlternate(m *Machine, llpc LLPC, alt *symexpr.Expr, alt
 	}
 	if e.OnFork != nil {
 		e.OnFork(st)
+	}
+	if routed {
+		// The owner performs the visited-signature dedup at injection; the
+		// state still joined this run's fork-weight group above, so its
+		// weight is final before the barrier delivers it.
+		e.stats.HandedOff++
+		e.router.HandOff(st)
+		return
 	}
 	e.strategy.Add(st)
 	if e.metrics != nil {

@@ -107,6 +107,28 @@ const (
 	MServeJobsFailed    = "serve.jobs.failed"    // counter: jobs that errored or panicked
 	MServeJobsQueued    = "serve.jobs.queued"    // gauge: jobs waiting for a worker slot
 	MServeJobsRunning   = "serve.jobs.running"   // gauge: jobs currently executing
+	MServeSlotsInUse    = "serve.slots.in_use"   // gauge: worker slots held by running jobs (sharded jobs hold several)
+
+	// Path-space sharding (internal/chef's ShardedSession; see
+	// docs/DESIGN.md "Path-space sharding"). All families except
+	// shard.steals and shard.virt_makespan are pure functions of (seed,
+	// budget, shard semantics) and byte-identical across worker counts;
+	// those two are deterministic per worker count but depend on it:
+	// steals counts barrier-time range reassignments, and the virtual
+	// makespan is the critical path of the epoch schedule — per epoch, the
+	// maximum virtual-time load across workers — the deterministic
+	// analogue of parallel wall time (VirtTime / makespan is the run's
+	// virtual throughput).
+	MShardEpochs       = "shard.epochs"           // counter: BSP epochs executed
+	MShardRangesLive   = "shard.ranges.live"      // gauge: ranges with pending work at the last barrier
+	MShardHandoffs     = "shard.handoffs.states"  // counter: states delivered across ranges
+	MShardVisitedNotes = "shard.handoffs.visited" // counter: trail signatures delivered across ranges
+	MShardHandoffDups  = "shard.handoffs.dup"     // counter: delivered states dropped as already-visited
+	MShardHandoffDepth = "shard.handoff.depth"    // histogram: per-(epoch,target) delivered queue depth
+	MShardSteals       = "shard.steals"           // counter vec by worker: ranges moved between workers at a barrier
+	MShardStalled      = "shard.workers.stalled"  // counter: workers lost to worker.stall injection
+	MShardVirtMakespan = "shard.virt_makespan"    // counter: summed per-epoch max worker virtual load (critical path)
+	MChefTestsMerged   = "chef.tests.merged"      // counter: distinct tests after cross-range HLSig dedup
 )
 
 // Counter is a monotonically increasing atomic counter.

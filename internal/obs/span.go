@@ -20,6 +20,11 @@ const (
 	SpanCacheLookup   = "solver.cache_lookup"
 	SpanPersistLookup = "solver.persist_lookup"
 	SpanPersistFlush  = "persist.flush"
+	// SpanShardEpoch is emitted by the sharded coordinator's own profiler,
+	// one span per BSP epoch (virtual duration = the epoch's clock
+	// advance summed over ranges); the per-range chef.session spans live
+	// on the ranges' own profilers.
+	SpanShardEpoch = "shard.epoch"
 )
 
 // spanMetricPrefix namespaces the per-layer aggregate counters a profiler

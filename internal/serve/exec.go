@@ -98,15 +98,36 @@ func Execute(ctx context.Context, spec JobSpec, eo ExecOptions) (JobResult, erro
 	if opts.Name == "" {
 		opts.Name = fmt.Sprintf("%s/%s/%d", tgt.name, spec.Strategy, spec.Seed)
 	}
-	session := chef.NewSession(tgt.prog, opts)
-	tests := session.RunContext(ctx, spec.Budget)
 
-	res := JobResult{
-		Summary:     session.Summary(),
-		Cancelled:   session.Cancelled(),
-		Stalled:     session.Stalled(),
-		CacheStats:  session.Engine().Solver().Cache().Stats(),
-		SolverStats: session.Engine().Solver().Stats(),
+	var (
+		tests []chef.TestCase
+		res   JobResult
+	)
+	if spec.Shards >= 1 {
+		// Sharded path: same spec, same seed, sharded semantics. The shared
+		// in-memory cache is ignored on this path — a ShardedSession gives
+		// every range cell a private cache so cell clocks stay deterministic
+		// (see the chef.ShardedSession package comment); cross-job warmth
+		// still flows through the persist view.
+		ss := chef.NewShardedSession(tgt.prog, opts, spec.Shards)
+		tests = ss.RunContext(ctx, spec.Budget)
+		res = JobResult{
+			Summary:     ss.Summary(),
+			Cancelled:   ss.Cancelled(),
+			Stalled:     ss.Stalled(),
+			CacheStats:  ss.CacheStats(),
+			SolverStats: ss.SolverStats(),
+		}
+	} else {
+		session := chef.NewSession(tgt.prog, opts)
+		tests = session.RunContext(ctx, spec.Budget)
+		res = JobResult{
+			Summary:     session.Summary(),
+			Cancelled:   session.Cancelled(),
+			Stalled:     session.Stalled(),
+			CacheStats:  session.Engine().Solver().Cache().Stats(),
+			SolverStats: session.Engine().Solver().Stats(),
+		}
 	}
 	res.Tests = make([]symtest.SerializedTest, 0, len(tests))
 	for _, tc := range tests {

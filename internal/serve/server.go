@@ -85,6 +85,7 @@ type Job struct {
 	Metrics obs.Snapshot // per-job registry snapshot, set when terminal
 
 	ordinal int // global submission ordinal; SessionIndex for worker.stall
+	slots   int // worker slots charged while running (sharded jobs weigh more)
 	cancel  context.CancelFunc
 	ctx     context.Context
 	trace   *traceBuffer
@@ -101,6 +102,7 @@ type Server struct {
 	jobs            map[string]*Job
 	queue           []*Job // FIFO, scanned for the first runnable job
 	runningByTenant map[string]int
+	slotsInUse      int // worker slots charged to running jobs (see jobSlots)
 	nextID          int
 	draining        bool
 	closed          bool
@@ -113,7 +115,7 @@ type Server struct {
 	// serve.* metric handles (always non-nil; see Options.Metrics).
 	mSubmitted, mRejected, mInvalid            *obs.Counter
 	mSucceeded, mDegraded, mCancelled, mFailed *obs.Counter
-	gQueued, gRunning                          *obs.Gauge
+	gQueued, gRunning, gSlots                  *obs.Gauge
 }
 
 // NewServer builds the server and starts its worker pool.
@@ -150,6 +152,7 @@ func NewServer(opts Options) *Server {
 	s.mFailed = reg.Counter(obs.MServeJobsFailed)
 	s.gQueued = reg.Gauge(obs.MServeJobsQueued)
 	s.gRunning = reg.Gauge(obs.MServeJobsRunning)
+	s.gSlots = reg.Gauge(obs.MServeSlotsInUse)
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
@@ -330,11 +333,14 @@ func (s *Server) Accounting() (submitted, terminal, queued, running int64) {
 // count (the anonymous "" tenant reports as "anonymous"); entries exist only
 // while at least one job of that tenant runs.
 type Health struct {
-	Status  string         `json:"status"` // "ok" | "draining"
-	Queued  int            `json:"queued"`
-	Running int            `json:"running"`
-	Workers int            `json:"workers"`
-	Tenants map[string]int `json:"tenants_running,omitempty"`
+	Status  string `json:"status"` // "ok" | "draining"
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	Workers int    `json:"workers"`
+	// SlotsInUse is the worker-slot weight of the running jobs (a sharded
+	// job charges one slot per shard worker, capped at Workers).
+	SlotsInUse int            `json:"slots_in_use"`
+	Tenants    map[string]int `json:"tenants_running,omitempty"`
 }
 
 // Health snapshots the server's load under the lock.
@@ -342,10 +348,11 @@ func (s *Server) Health() Health {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	h := Health{
-		Status:  "ok",
-		Queued:  len(s.queue),
-		Running: int(s.gRunning.Value()),
-		Workers: s.opts.Workers,
+		Status:     "ok",
+		Queued:     len(s.queue),
+		Running:    int(s.gRunning.Value()),
+		Workers:    s.opts.Workers,
+		SlotsInUse: s.slotsInUse,
 	}
 	if s.draining {
 		h.Status = "draining"
@@ -375,8 +382,29 @@ func (s *Server) worker() {
 	}
 }
 
+// jobSlots is the worker-slot weight of a spec: a plain job charges one
+// slot, a sharded job charges one per shard worker it may spin up, capped
+// at the pool size so every valid job stays admissible.
+func (s *Server) jobSlots(spec JobSpec) int {
+	w := spec.Shards
+	if w < 1 {
+		w = 1
+	}
+	if w > s.opts.Workers {
+		w = s.opts.Workers
+	}
+	return w
+}
+
 // nextJob blocks until a job is runnable (FIFO order, skipping jobs whose
-// tenant is at its concurrency limit) or the pool is shutting down.
+// tenant is at its concurrency limit or whose slot weight does not fit the
+// remaining pool capacity) or the pool is shutting down.
+//
+// Slot accounting keeps total admitted weight within the pool size, so a
+// sharded job's epoch workers never oversubscribe the pool. The FIFO scan
+// skips a heavy job that does not fit yet, which lets lighter jobs behind
+// it keep the pool busy — at the cost that a steady light-job stream can
+// starve a heavy one (see docs/SERVING.md).
 func (s *Server) nextJob() *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -385,11 +413,18 @@ func (s *Server) nextJob() *Job {
 			if s.opts.TenantLimit > 0 && s.runningByTenant[j.Tenant] >= s.opts.TenantLimit {
 				continue
 			}
+			w := s.jobSlots(j.Spec)
+			if s.slotsInUse+w > s.opts.Workers {
+				continue
+			}
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
 			j.State = StateRunning
+			j.slots = w
 			s.runningByTenant[j.Tenant]++
+			s.slotsInUse += w
 			s.gQueued.Set(int64(len(s.queue)))
 			s.gRunning.Add(1)
+			s.gSlots.Set(int64(s.slotsInUse))
 			return j
 		}
 		if s.closed && len(s.queue) == 0 {
@@ -459,6 +494,8 @@ func (s *Server) runJob(j *Job) {
 	if s.runningByTenant[j.Tenant] == 0 {
 		delete(s.runningByTenant, j.Tenant)
 	}
+	s.slotsInUse -= j.slots
+	s.gSlots.Set(int64(s.slotsInUse))
 	s.gRunning.Add(-1)
 	s.opts.Metrics.Merge(child)
 	j.cancel()

@@ -90,6 +90,15 @@ type JobSpec struct {
 	Seed      int64  `json:"seed,omitempty"`
 	Vanilla   bool   `json:"vanilla,omitempty"`   // unoptimized interpreter build
 	CacheMode string `json:"cachemode,omitempty"` // exact | subsume
+
+	// Shards selects sharded exploration (chef.ShardedSession): the job's
+	// path space is split into signature-subtree ranges driven by up to
+	// Shards epoch workers. 0 runs the plain single-session path; any value
+	// in [1, chef.ShardSubtrees] runs the sharded semantics — results are
+	// byte-identical for every positive value, so Shards > 1 is purely a
+	// wall-clock knob. The scheduler charges a sharded job Shards worker
+	// slots (capped at the pool size); see docs/SERVING.md.
+	Shards int `json:"shards,omitempty"`
 }
 
 // normalize fills defaulted fields in place.
@@ -146,6 +155,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if _, ok := solver.ParseCacheMode(s.CacheMode); !ok {
 		return fmt.Errorf("unknown cachemode %q (want exact or subsume)", s.CacheMode)
+	}
+	if s.Shards < 0 || s.Shards > chef.ShardSubtrees {
+		return fmt.Errorf("shards %d out of range [0, %d]", s.Shards, chef.ShardSubtrees)
 	}
 	return nil
 }

@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzShardRangeSplit drives a Table through an arbitrary sequence of
+// split/claim/steal/release operations and checks the partition
+// invariants after every step: the range union stays complete (sorted,
+// adjacent, covering the whole space), any fuzzed signature maps to
+// exactly one live range, and ownership never double-claims.
+func FuzzShardRangeSplit(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x40, 0x83, 0xc1})
+	f.Add([]byte{0xff, 0x00, 0x7f, 0x80})
+	f.Add([]byte{0x41, 0x41, 0x41, 0x41, 0x41, 0x41, 0x41, 0x41, 0x41})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tb := NewTable(2)
+		const workers = 4
+		probes := []uint64{0, 1, 1 << 63, ^uint64(0)}
+		for i := 0; i+1 < len(data) && i < 256; i += 2 {
+			op, arg := data[i]>>6, int(data[i]&0x3f)
+			idx := arg % tb.Len()
+			switch op {
+			case 0: // split
+				if tb.Range(idx).Bits < MaxBits {
+					if err := tb.SplitAt(idx); err != nil {
+						t.Fatalf("split %d: %v", idx, err)
+					}
+				}
+			case 1: // claim
+				w := int(data[i+1]) % workers
+				if tb.Owner(idx) == Unowned {
+					if err := tb.Claim(idx, w); err != nil {
+						t.Fatalf("claim %d by %d: %v", idx, w, err)
+					}
+				} else if err := tb.Claim(idx, w); err == nil {
+					t.Fatalf("double claim of %d accepted", idx)
+				}
+			case 2: // steal
+				w := int(data[i+1]) % workers
+				if tb.Owner(idx) != Unowned {
+					if _, err := tb.Steal(idx, w); err != nil {
+						t.Fatalf("steal %d by %d: %v", idx, w, err)
+					}
+					if tb.Owner(idx) != w {
+						t.Fatalf("steal %d: owner %d, want %d", idx, tb.Owner(idx), w)
+					}
+				}
+			case 3: // release, and derive an extra probe signature
+				tb.Release(idx)
+				var b [8]byte
+				copy(b[:], data[i:])
+				probes = append(probes, binary.LittleEndian.Uint64(b[:]))
+			}
+			if err := tb.Complete(); err != nil {
+				t.Fatalf("after op %d: %v", i/2, err)
+			}
+		}
+		// Every probe signature lands in exactly one live range, and
+		// IndexOf agrees with a linear Contains scan (no orphan, no
+		// double coverage).
+		for _, sig := range probes {
+			hits := 0
+			for i := 0; i < tb.Len(); i++ {
+				if tb.Range(i).Contains(sig) {
+					hits++
+					if got := tb.IndexOf(sig); got != i {
+						t.Fatalf("IndexOf(%#x) = %d, Contains says %d", sig, got, i)
+					}
+				}
+			}
+			if hits != 1 {
+				t.Fatalf("sig %#x covered by %d ranges", sig, hits)
+			}
+		}
+	})
+}

@@ -1,0 +1,284 @@
+// Package shard partitions the 64-bit decision-signature space into
+// prefix-range subtrees and provides the deterministic ownership and
+// work-assignment machinery behind path-space sharding (docs/DESIGN.md,
+// "Path-space sharding").
+//
+// A Range fixes the top Bits bits of a signature: every signature whose
+// leading bits equal Prefix falls inside it. A set of ranges produced by
+// Split (or by further SplitAt calls on a Table) is always a complete,
+// non-overlapping partition of the whole uint64 space, so any signature
+// maps to exactly one range — the property FuzzShardRangeSplit defends.
+//
+// Assignment of ranges to workers is a pure function of (seed, epoch,
+// per-range loads, worker count): no wall clock, no goroutine identity.
+// That keeps the schedule reproducible, and because the exploration
+// semantics live entirely in the per-range state (see internal/chef's
+// ShardedSession), the assignment affects only wall-clock time.
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxBits bounds the prefix depth; 2^MaxBits ranges is already far past
+// any useful fan-out and keeps Lo/Hi arithmetic trivially safe.
+const MaxBits = 16
+
+// Unowned marks a range with no owning worker.
+const Unowned = -1
+
+// Range is the subtree of decision signatures whose top Bits bits equal
+// Prefix. Bits == 0 is the whole space (Prefix must then be 0).
+type Range struct {
+	Prefix uint64
+	Bits   uint8
+}
+
+// Contains reports whether sig falls inside r.
+func (r Range) Contains(sig uint64) bool {
+	if r.Bits == 0 {
+		return true
+	}
+	return sig>>(64-uint(r.Bits)) == r.Prefix
+}
+
+// Lo returns the smallest signature in r.
+func (r Range) Lo() uint64 {
+	if r.Bits == 0 {
+		return 0
+	}
+	return r.Prefix << (64 - uint(r.Bits))
+}
+
+// Hi returns the largest signature in r.
+func (r Range) Hi() uint64 {
+	if r.Bits == 0 {
+		return ^uint64(0)
+	}
+	return r.Lo() | (^uint64(0) >> uint(r.Bits))
+}
+
+// Split halves r into its two child subtrees, low half first.
+func (r Range) Split() (Range, Range) {
+	b := r.Bits + 1
+	return Range{Prefix: r.Prefix << 1, Bits: b},
+		Range{Prefix: r.Prefix<<1 | 1, Bits: b}
+}
+
+func (r Range) String() string {
+	return fmt.Sprintf("%0*b/%d", int(r.Bits), r.Prefix, r.Bits)
+}
+
+// Split returns the uniform complete partition of the signature space
+// into 2^bits ranges, in ascending signature order.
+func Split(bits uint8) []Range {
+	if bits > MaxBits {
+		panic(fmt.Sprintf("shard: %d bits > MaxBits %d", bits, MaxBits))
+	}
+	rs := make([]Range, 1<<bits)
+	for i := range rs {
+		rs[i] = Range{Prefix: uint64(i), Bits: bits}
+	}
+	return rs
+}
+
+// Owner returns the index of sig's range in the uniform 2^bits partition.
+func Owner(sig uint64, bits uint8) int {
+	if bits == 0 {
+		return 0
+	}
+	return int(sig >> (64 - uint(bits)))
+}
+
+// Table tracks a live partition of the signature space plus the worker
+// currently owning each range. It is not synchronized: the sharded
+// coordinator mutates it only at epoch barriers.
+type Table struct {
+	ranges []Range
+	owner  []int
+}
+
+// NewTable builds a table over the uniform 2^bits partition, all ranges
+// unowned.
+func NewTable(bits uint8) *Table {
+	rs := Split(bits)
+	own := make([]int, len(rs))
+	for i := range own {
+		own[i] = Unowned
+	}
+	return &Table{ranges: rs, owner: own}
+}
+
+// Len returns the number of live ranges.
+func (t *Table) Len() int { return len(t.ranges) }
+
+// Range returns live range i.
+func (t *Table) Range(i int) Range { return t.ranges[i] }
+
+// Owner returns the worker owning range i, or Unowned.
+func (t *Table) Owner(i int) int { return t.owner[i] }
+
+// IndexOf returns the index of the unique live range containing sig.
+func (t *Table) IndexOf(sig uint64) int {
+	// Ranges are kept sorted by Lo; the containing range is the last one
+	// whose Lo <= sig.
+	i := sort.Search(len(t.ranges), func(i int) bool { return t.ranges[i].Lo() > sig })
+	return i - 1
+}
+
+// Claim assigns unowned range i to worker. Claiming an owned range is a
+// protocol violation and errors.
+func (t *Table) Claim(i, worker int) error {
+	if i < 0 || i >= len(t.ranges) {
+		return fmt.Errorf("shard: claim of range %d, have %d", i, len(t.ranges))
+	}
+	if worker < 0 {
+		return fmt.Errorf("shard: claim by invalid worker %d", worker)
+	}
+	if t.owner[i] != Unowned {
+		return fmt.Errorf("shard: double claim of range %s (owned by %d, claimed by %d)",
+			t.ranges[i], t.owner[i], worker)
+	}
+	t.owner[i] = worker
+	return nil
+}
+
+// Steal reassigns range i to worker, returning the previous owner.
+// Stealing an unowned range errors (use Claim).
+func (t *Table) Steal(i, worker int) (int, error) {
+	if i < 0 || i >= len(t.ranges) {
+		return Unowned, fmt.Errorf("shard: steal of range %d, have %d", i, len(t.ranges))
+	}
+	if worker < 0 {
+		return Unowned, fmt.Errorf("shard: steal by invalid worker %d", worker)
+	}
+	prev := t.owner[i]
+	if prev == Unowned {
+		return Unowned, fmt.Errorf("shard: steal of unowned range %s", t.ranges[i])
+	}
+	t.owner[i] = worker
+	return prev, nil
+}
+
+// Release marks range i unowned.
+func (t *Table) Release(i int) {
+	t.owner[i] = Unowned
+}
+
+// SplitAt replaces live range i with its two children, both inheriting
+// i's owner. The partition stays complete by construction.
+func (t *Table) SplitAt(i int) error {
+	if i < 0 || i >= len(t.ranges) {
+		return fmt.Errorf("shard: split of range %d, have %d", i, len(t.ranges))
+	}
+	if t.ranges[i].Bits >= MaxBits {
+		return fmt.Errorf("shard: range %s already at MaxBits", t.ranges[i])
+	}
+	lo, hi := t.ranges[i].Split()
+	own := t.owner[i]
+	t.ranges = append(t.ranges, Range{})
+	copy(t.ranges[i+2:], t.ranges[i+1:])
+	t.ranges[i], t.ranges[i+1] = lo, hi
+	t.owner = append(t.owner, 0)
+	copy(t.owner[i+2:], t.owner[i+1:])
+	t.owner[i], t.owner[i+1] = own, own
+	return nil
+}
+
+// Complete verifies the partition invariant: ranges are sorted, adjacent
+// and together cover the whole signature space with no overlap.
+func (t *Table) Complete() error {
+	if len(t.ranges) == 0 {
+		return fmt.Errorf("shard: empty partition")
+	}
+	if lo := t.ranges[0].Lo(); lo != 0 {
+		return fmt.Errorf("shard: partition starts at %#x, want 0", lo)
+	}
+	for i := 1; i < len(t.ranges); i++ {
+		prev, cur := t.ranges[i-1], t.ranges[i]
+		if prev.Hi()+1 != cur.Lo() {
+			return fmt.Errorf("shard: gap/overlap between %s and %s", prev, cur)
+		}
+	}
+	if hi := t.ranges[len(t.ranges)-1].Hi(); hi != ^uint64(0) {
+		return fmt.Errorf("shard: partition ends at %#x, want max", hi)
+	}
+	return nil
+}
+
+// mix64 is splitmix64's finalizer: a cheap, stable 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Assign deterministically distributes range indices over workers for
+// one epoch. loads[i] is range i's pending-work estimate; ranges with
+// load <= 0 are dead and stay unassigned. The policy is longest-
+// processing-time-first: ranges in decreasing load order (ties by index)
+// each go to the least-loaded worker so far, with ties among workers
+// broken by a rotation derived from (seed, epoch) — the whole schedule
+// is a pure function of its arguments. Each worker's list comes back in
+// ascending range order (the canonical in-worker execution order).
+func Assign(seed int64, epoch int, loads []int64, workers int) [][]int {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([][]int, workers)
+	order := make([]int, 0, len(loads))
+	for i, l := range loads {
+		if l > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if loads[ia] != loads[ib] {
+			return loads[ia] > loads[ib]
+		}
+		return ia < ib
+	})
+	rot := int(mix64(uint64(seed)^mix64(uint64(epoch))) % uint64(workers))
+	total := make([]int64, workers)
+	for _, i := range order {
+		best := -1
+		for p := 0; p < workers; p++ {
+			w := (p + rot) % workers
+			if best == -1 || total[w] < total[best] {
+				best = w
+			}
+		}
+		total[best] += loads[i]
+		out[best] = append(out[best], i)
+	}
+	for _, l := range out {
+		sort.Ints(l)
+	}
+	return out
+}
+
+// Moves counts, per worker, how many ranges in next were owned by a
+// different worker in prev — the epoch's deterministic "steal" count.
+// Ranges absent from prev (newly live) are not moves.
+func Moves(prev, next [][]int) []int64 {
+	prevOwner := map[int]int{}
+	for w, l := range prev {
+		for _, i := range l {
+			prevOwner[i] = w
+		}
+	}
+	moves := make([]int64, len(next))
+	for w, l := range next {
+		for _, i := range l {
+			if pw, ok := prevOwner[i]; ok && pw != w {
+				moves[w]++
+			}
+		}
+	}
+	return moves
+}

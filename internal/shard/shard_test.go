@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestRangeContainsLoHi(t *testing.T) {
+	whole := Range{}
+	if !whole.Contains(0) || !whole.Contains(math.MaxUint64) {
+		t.Fatalf("whole-space range must contain everything")
+	}
+	r := Range{Prefix: 0b1011, Bits: 4}
+	if r.Lo() != 0xb000_0000_0000_0000 {
+		t.Fatalf("Lo = %#x", r.Lo())
+	}
+	if r.Hi() != 0xbfff_ffff_ffff_ffff {
+		t.Fatalf("Hi = %#x", r.Hi())
+	}
+	if !r.Contains(r.Lo()) || !r.Contains(r.Hi()) {
+		t.Fatalf("range must contain its endpoints")
+	}
+	if r.Contains(r.Lo()-1) || r.Contains(r.Hi()+1) {
+		t.Fatalf("range must exclude its neighbors")
+	}
+}
+
+func TestSplitIsCompletePartition(t *testing.T) {
+	for _, bits := range []uint8{0, 1, 4, 8} {
+		rs := Split(bits)
+		if len(rs) != 1<<bits {
+			t.Fatalf("bits=%d: %d ranges", bits, len(rs))
+		}
+		for _, sig := range probeSigs() {
+			n := 0
+			for i, r := range rs {
+				if r.Contains(sig) {
+					n++
+					if i != Owner(sig, bits) {
+						t.Fatalf("bits=%d sig=%#x: Owner says %d, Contains says %d",
+							bits, sig, Owner(sig, bits), i)
+					}
+				}
+			}
+			if n != 1 {
+				t.Fatalf("bits=%d: sig %#x in %d ranges", bits, sig, n)
+			}
+		}
+	}
+}
+
+func TestRangeSplitChildren(t *testing.T) {
+	r := Range{Prefix: 0b10, Bits: 2}
+	lo, hi := r.Split()
+	if lo.Lo() != r.Lo() || hi.Hi() != r.Hi() || lo.Hi()+1 != hi.Lo() {
+		t.Fatalf("split of %s -> %s, %s does not tile the parent", r, lo, hi)
+	}
+}
+
+func TestTableClaimStealInvariants(t *testing.T) {
+	tb := NewTable(2)
+	if err := tb.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Claim(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Claim(1, 1); err == nil {
+		t.Fatal("double claim must error")
+	}
+	if _, err := tb.Steal(0, 1); err == nil {
+		t.Fatal("steal of unowned range must error")
+	}
+	prev, err := tb.Steal(1, 1)
+	if err != nil || prev != 0 {
+		t.Fatalf("steal: prev=%d err=%v", prev, err)
+	}
+	tb.Release(1)
+	if tb.Owner(1) != Unowned {
+		t.Fatal("release must unown")
+	}
+	if err := tb.SplitAt(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Complete(); err != nil {
+		t.Fatalf("after split: %v", err)
+	}
+	if tb.Len() != 5 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	for _, sig := range probeSigs() {
+		i := tb.IndexOf(sig)
+		if !tb.Range(i).Contains(sig) {
+			t.Fatalf("IndexOf(%#x) = %d (%s), does not contain", sig, i, tb.Range(i))
+		}
+	}
+}
+
+func TestAssignDeterministicAndComplete(t *testing.T) {
+	loads := []int64{5, 0, 3, 3, 9, 0, 1, 2}
+	a := Assign(42, 3, loads, 3)
+	b := Assign(42, 3, loads, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Assign not deterministic: %v vs %v", a, b)
+	}
+	seen := map[int]int{}
+	for w, l := range a {
+		for _, i := range l {
+			if loads[i] <= 0 {
+				t.Fatalf("dead range %d assigned to %d", i, w)
+			}
+			seen[i]++
+		}
+	}
+	for i, l := range loads {
+		if l > 0 && seen[i] != 1 {
+			t.Fatalf("live range %d assigned %d times", i, seen[i])
+		}
+		if l <= 0 && seen[i] != 0 {
+			t.Fatalf("dead range %d assigned", i)
+		}
+	}
+	// Different (seed, epoch) may rotate ties, but stays deterministic.
+	c := Assign(7, 9, loads, 3)
+	d := Assign(7, 9, loads, 3)
+	if !reflect.DeepEqual(c, d) {
+		t.Fatalf("Assign not deterministic across epochs")
+	}
+	// One worker gets everything live.
+	e := Assign(42, 0, loads, 1)
+	if len(e) != 1 || len(e[0]) != 6 {
+		t.Fatalf("single-worker assign: %v", e)
+	}
+}
+
+func TestAssignBalances(t *testing.T) {
+	loads := make([]int64, 16)
+	for i := range loads {
+		loads[i] = 10
+	}
+	a := Assign(1, 1, loads, 4)
+	for w, l := range a {
+		if len(l) != 4 {
+			t.Fatalf("worker %d got %d uniform ranges, want 4 (%v)", w, len(l), a)
+		}
+	}
+}
+
+func TestMoves(t *testing.T) {
+	prev := [][]int{{0, 1}, {2, 3}}
+	next := [][]int{{0, 2}, {1, 3, 4}}
+	m := Moves(prev, next)
+	if m[0] != 1 || m[1] != 1 {
+		t.Fatalf("moves = %v", m)
+	}
+}
+
+func probeSigs() []uint64 {
+	rng := rand.New(rand.NewSource(99))
+	sigs := []uint64{0, 1, math.MaxUint64, math.MaxUint64 - 1, 1 << 63, (1 << 63) - 1}
+	for i := 0; i < 64; i++ {
+		sigs = append(sigs, rng.Uint64())
+	}
+	return sigs
+}

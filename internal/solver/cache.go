@@ -122,6 +122,20 @@ type CacheStats struct {
 	HitsSubsumeUnsat int64
 }
 
+// Add folds another snapshot into s, field by field — the merge helper for
+// aggregating per-cell snapshots (sharded sessions own one cache per range).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Queries += o.Queries
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Stores += o.Stores
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+	s.HitsExact += o.HitsExact
+	s.HitsSubsumeSat += o.HitsSubsumeSat
+	s.HitsSubsumeUnsat += o.HitsSubsumeUnsat
+}
+
 // NewQueryCache builds a cache bounded to roughly capacity entries
 // (0 means DefaultCacheCapacity).
 func NewQueryCache(capacity int) *QueryCache {

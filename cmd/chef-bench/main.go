@@ -2,8 +2,11 @@
 // continuous benchmark trajectory and writes one schema-versioned JSON point
 // (BENCH_<pr>.json, see internal/benchfmt). The matrix is deliberately
 // small and fully deterministic: both interpreters, cold versus warm
-// persistent cache, serial versus parallel workers, plus warm sharded-
-// exploration cells at 1, 2 and 4 shard workers, all at seed 42. The
+// persistent cache, serial versus parallel workers, warm sharded-
+// exploration cells at 1, 2 and 4 shard workers, incremental-solver cells
+// (cold/warm at 1 and 4 shards) and deep-path DFS cell pairs that measure
+// the incremental backend's per-query solver speedup (asserted as a
+// geometric mean across the deep-path package set), all at seed 42. The
 // deterministic columns (tests, virtual time, span virtual aggregates) make
 // drift between two trajectory points attributable to code changes; the
 // wall-clock columns record what the host actually paid — including the
@@ -19,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -40,14 +44,15 @@ func main() {
 
 func run() int {
 	var (
-		seed     = flag.Int64("seed", 42, "base session seed")
-		budget   = flag.Int64("budget", 600_000, "virtual-time budget per session")
-		stepCap  = flag.Int64("steplimit", 30_000, "per-run hang threshold")
-		reps     = flag.Int("reps", 2, "sessions (distinct seeds) per configuration")
-		out      = flag.String("out", "BENCH_8.json", "output file")
-		bench    = flag.String("bench", "fixed-matrix", "matrix name recorded in the file")
-		micro    = flag.Bool("micro", false, "run the 1-config smoke matrix (CI): simplejson, cold+warm, serial, 1 rep, reduced budget")
-		validate = flag.String("validate", "", "validate an existing BENCH file and exit")
+		seed      = flag.Int64("seed", 42, "base session seed")
+		budget    = flag.Int64("budget", 600_000, "virtual-time budget per session")
+		stepCap   = flag.Int64("steplimit", 30_000, "per-run hang threshold")
+		reps      = flag.Int("reps", 2, "sessions (distinct seeds) per configuration")
+		out       = flag.String("out", "BENCH_8.json", "output file")
+		bench     = flag.String("bench", "fixed-matrix", "matrix name recorded in the file")
+		micro     = flag.Bool("micro", false, "run the 1-config smoke matrix (CI): simplejson, cold+warm, serial, 1 rep, reduced budget")
+		validate  = flag.String("validate", "", "validate an existing BENCH file and exit")
+		assertInc = flag.Float64("assert-inc-speedup", 0, "with -validate: require the incremental dfs cells' per-query solver virtual cost to beat the oneshot dfs cells by at least this ratio")
 	)
 	flag.Parse()
 
@@ -64,6 +69,12 @@ func run() int {
 		}
 		fmt.Printf("chef-bench: %s ok (%s, %d configs, seed %d, %s)\n",
 			*validate, f.Schema, len(f.Configs), f.Seed, f.GoVersion)
+		if *assertInc > 0 {
+			if err := assertIncSpeedup(f, *assertInc); err != nil {
+				fmt.Fprintf(os.Stderr, "chef-bench: %s: %v\n", *validate, err)
+				return 1
+			}
+		}
 		return 0
 	}
 
@@ -74,10 +85,24 @@ func run() int {
 	// a sharded session) at 1, 2 and 4 epoch workers; the 1-shard cell is the
 	// sharded semantics' own serial baseline for the scaling ratio.
 	shardCounts := []int{1, 2, 4}
+	// Incremental-solver cells run the sharded semantics cold and warm at
+	// these shard counts; the deep-path pair below carries the speedup
+	// signal, these carry the determinism contract (cold == warm, 1 == 4).
+	incShardCounts := []int{1, 4}
+	deepPath := true
+	// Deep-path-only packages: heavier solver workloads that run just the
+	// dfs speedup pair, not the full cache/worker/shard matrix. They bound
+	// wall time while anchoring the aggregate speedup gate in the deep
+	// arithmetic workloads incremental solving exists for; the parser
+	// packages above contribute their (lower) ratios to the same geomean.
+	deepPkgNames := []string{"moonscript", "xlrd"}
 	if *micro {
 		pkgNames = []string{"simplejson"}
 		workerCounts = []int{1}
 		shardCounts = []int{1, 2}
+		incShardCounts = nil
+		deepPath = false
+		deepPkgNames = nil
 		*reps = 1
 		*bench = "micro"
 		if *budget > 200_000 {
@@ -149,6 +174,56 @@ func run() int {
 			file.Configs = append(file.Configs, c)
 		}
 		printShardScaling(p.Name, file.Configs)
+
+		// Incremental-solver cells: the sharded semantics, cold and warm, at
+		// 1 and 4 shard workers. The prewarm pass itself runs sharded (shard
+		// counts are scheduling, not semantics) so the warm cells are fully
+		// warm: an incremental cell's models are a function of its solver's
+		// whole query stream, and only a fully-warm store — recorded from the
+		// byte-identical stream — preserves them exactly (see
+		// solver.Options.SolverMode).
+		if len(incShardCounts) > 0 {
+			incBase := base
+			incBase.SolverMode = solver.ModeIncremental
+			incWarmFile := filepath.Join(tmp, name+"-inc.ndjson")
+			incPre := incBase
+			incPre.Shards = 1
+			if err := prewarm(p, cfg, incPre, incWarmFile); err != nil {
+				fmt.Fprintf(os.Stderr, "chef-bench: prewarm %s (incremental): %v\n", name, err)
+				return 1
+			}
+			for _, cache := range caches {
+				for _, shards := range incShardCounts {
+					c, err := runCell(p, cfg, incBase, cache, 1, shards, incWarmFile)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "chef-bench: %s: %v\n", c.Name, err)
+						return 1
+					}
+					fmt.Printf("%-32s tests=%-5d virt=%-10d wall=%s\n",
+						c.Name, c.Tests, c.VirtTime, time.Duration(c.WallNs).Round(time.Millisecond))
+					file.Configs = append(file.Configs, c)
+				}
+			}
+		}
+
+		if deepPath {
+			if err := runDeepPair(p, cfg, base, tmp, &file); err != nil {
+				fmt.Fprintf(os.Stderr, "chef-bench: %v\n", err)
+				return 1
+			}
+		}
+	}
+
+	for _, name := range deepPkgNames {
+		p, ok := packages.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "chef-bench: unknown package %q\n", name)
+			return 1
+		}
+		if err := runDeepPair(p, cfg, base, tmp, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "chef-bench: %v\n", err)
+			return 1
+		}
 	}
 
 	if err := file.Validate(); err != nil {
@@ -166,6 +241,37 @@ func run() int {
 	}
 	fmt.Printf("chef-bench: wrote %d configs to %s\n", len(file.Configs), *out)
 	return 0
+}
+
+// runDeepPair runs the deep-path DFS cell pair for p: DFS drives the path
+// condition deep with long shared prefixes between consecutive queries —
+// the workload incremental solving exists for. Both backends run warm from
+// their own fully-warm store, so the recorded per-query solver costs are
+// the replayed solve costs and their ratio is the solver-layer virtual
+// speedup (printed per package, asserted in aggregate by
+// -assert-inc-speedup).
+func runDeepPair(p *packages.Package, cfg experiments.Configuration, base experiments.Budgets,
+	tmp string, file *benchfmt.File) error {
+	dfsCfg := cfg
+	dfsCfg.Name = "dfs+opt"
+	dfsCfg.Strategy = chef.StrategyDFS
+	for _, sm := range []solver.SolverMode{solver.ModeOneshot, solver.ModeIncremental} {
+		dfsBase := base
+		dfsBase.SolverMode = sm
+		dfsWarmFile := filepath.Join(tmp, p.Name+"-dfs-"+sm.String()+".ndjson")
+		if err := prewarm(p, dfsCfg, dfsBase, dfsWarmFile); err != nil {
+			return fmt.Errorf("prewarm %s (dfs, %s): %v", p.Name, sm, err)
+		}
+		c, err := runCell(p, dfsCfg, dfsBase, "warm", 1, 0, dfsWarmFile)
+		if err != nil {
+			return fmt.Errorf("%s: %v", c.Name, err)
+		}
+		fmt.Printf("%-32s tests=%-5d virt=%-10d wall=%s\n",
+			c.Name, c.Tests, c.VirtTime, time.Duration(c.WallNs).Round(time.Millisecond))
+		file.Configs = append(file.Configs, c)
+	}
+	printIncSpeedup(p.Name, file.Configs)
+	return nil
 }
 
 // prewarm populates path's persistent store with the queries of an
@@ -189,25 +295,52 @@ func prewarm(p *packages.Package, cfg experiments.Configuration, b experiments.B
 // in-memory caches) driven by up to shards epoch workers.
 func runCell(p *packages.Package, cfg experiments.Configuration, b experiments.Budgets,
 	cache string, workers, shards int, warmFile string) (benchfmt.Config, error) {
-	name := fmt.Sprintf("%s/%s/w%d", p.Name, cache, workers)
+	seg := p.Name
+	strategy := ""
+	if cfg.Strategy == chef.StrategyDFS {
+		seg += "/dfs"
+		strategy = "dfs"
+	}
+	solverMode := ""
+	if b.SolverMode == solver.ModeIncremental {
+		seg += "/inc"
+		solverMode = "incremental"
+	}
+	name := fmt.Sprintf("%s/%s/w%d", seg, cache, workers)
 	if shards > 0 {
-		name = fmt.Sprintf("%s/%s/s%d", p.Name, cache, shards)
+		name = fmt.Sprintf("%s/%s/s%d", seg, cache, shards)
 	}
 	c := benchfmt.Config{
-		Name:     name,
-		Package:  p.Name,
-		Language: string(p.Lang),
-		Cache:    cache,
-		Workers:  workers,
-		Shards:   shards,
-		Sessions: b.Reps,
+		Name:       name,
+		Package:    p.Name,
+		Language:   string(p.Lang),
+		Cache:      cache,
+		Workers:    workers,
+		Shards:     shards,
+		SolverMode: solverMode,
+		Strategy:   strategy,
+		Sessions:   b.Reps,
 	}
 	reg := obs.NewRegistry()
 	b.Metrics = reg
 	b.Parallel = workers
 	b.Shards = shards
 	if cache == "warm" {
-		store, err := solver.OpenPersistentStore(warmFile)
+		// Each warm cell reads a private copy of the store: a cell's
+		// sessions may append queries the prewarm stream missed (an
+		// incremental warm run's query stream diverges wherever a persist
+		// hit bypasses the backend and shifts the context's assumption
+		// state), and a shared file would leak those appends into the next
+		// cell's read side, breaking cell-order independence.
+		data, err := os.ReadFile(warmFile)
+		if err != nil {
+			return c, err
+		}
+		cellFile := warmFile + ".cell"
+		if err := os.WriteFile(cellFile, data, 0o644); err != nil {
+			return c, err
+		}
+		store, err := solver.OpenPersistentStore(cellFile)
 		if err != nil {
 			return c, err
 		}
@@ -267,4 +400,88 @@ func printShardScaling(pkg string, configs []benchfmt.Config) {
 	t4 := float64(s4.VirtTime) / float64(s4.VirtMakespan)
 	fmt.Printf("%-32s 4-shard virtual throughput %.2fx the 1-shard baseline\n",
 		pkg+" shard scaling", t4/t1)
+}
+
+// solverCheckPerQuery returns the average virtual cost of one solver.check
+// span in c (VirtTotal/Count), or 0 when the span is absent.
+func solverCheckPerQuery(c *benchfmt.Config) float64 {
+	for i := range c.Spans {
+		sp := &c.Spans[i]
+		if sp.Layer == obs.SpanSolverCheck && sp.Count > 0 {
+			return float64(sp.VirtTotal) / float64(sp.Count)
+		}
+	}
+	return 0
+}
+
+// incSpeedup finds the dfs cell pair (oneshot vs incremental) of pkg and
+// returns the oneshot/incremental ratio of per-query solver virtual cost —
+// the solver-layer speedup of incremental solving on the deep-path workload.
+func incSpeedup(pkg string, configs []benchfmt.Config) (float64, bool) {
+	var one, inc *benchfmt.Config
+	for i := range configs {
+		c := &configs[i]
+		if c.Package != pkg || c.Strategy != "dfs" {
+			continue
+		}
+		if c.SolverMode == "incremental" {
+			inc = c
+		} else {
+			one = c
+		}
+	}
+	if one == nil || inc == nil {
+		return 0, false
+	}
+	po, pi := solverCheckPerQuery(one), solverCheckPerQuery(inc)
+	if po <= 0 || pi <= 0 {
+		return 0, false
+	}
+	return po / pi, true
+}
+
+// printIncSpeedup reports the deep-path solver-layer speedup of the
+// incremental backend for one package.
+func printIncSpeedup(pkg string, configs []benchfmt.Config) {
+	if r, ok := incSpeedup(pkg, configs); ok {
+		fmt.Printf("%-32s incremental per-query solver cost %.2fx cheaper than oneshot (dfs)\n",
+			pkg+" inc speedup", r)
+	}
+}
+
+// assertIncSpeedup requires the aggregate solver-layer speedup of the
+// incremental backend — the geometric mean of the per-package dfs cell
+// pair ratios — to be at least min, with at least one pair present.
+// Individual packages may sit below the bar: on short-query parser
+// workloads the sliced path conditions are shallow and per-query cost is
+// dominated by asserting the few fresh suffix constraints, which both
+// backends pay, so the ratio plateaus near 1.2-1.5x; deep arithmetic
+// workloads exceed 3x. The contract is the aggregate over the matrix's
+// deep-path set, not a per-package floor.
+func assertIncSpeedup(f *benchfmt.File, min float64) error {
+	seen := map[string]bool{}
+	logSum, pairs := 0.0, 0
+	for i := range f.Configs {
+		pkg := f.Configs[i].Package
+		if seen[pkg] {
+			continue
+		}
+		seen[pkg] = true
+		r, ok := incSpeedup(pkg, f.Configs)
+		if !ok {
+			continue
+		}
+		pairs++
+		logSum += math.Log(r)
+		fmt.Printf("chef-bench: %s incremental solver speedup %.2fx\n", pkg, r)
+	}
+	if pairs == 0 {
+		return fmt.Errorf("-assert-inc-speedup: no dfs oneshot/incremental cell pairs in file")
+	}
+	agg := math.Exp(logSum / float64(pairs))
+	if agg < min {
+		return fmt.Errorf("aggregate incremental speedup %.2fx (geomean over %d packages) below required %.2fx", agg, pairs, min)
+	}
+	fmt.Printf("chef-bench: aggregate incremental solver speedup %.2fx over %d packages (>= %.2fx)\n", agg, pairs, min)
+	return nil
 }

@@ -85,7 +85,7 @@ func run() int {
 	if persist != nil {
 		// Dedicated profiler for the flusher goroutine: persist.flush spans
 		// land in the server-total registry and the server-level trace.
-		persist.SetSpans(obs.NewSpanProfiler(obsFlags.Registry(), obsFlags.Tracer()))
+		persist.Attach(solver.Instruments{Spans: obs.NewSpanProfiler(obsFlags.Registry(), obsFlags.Tracer())})
 	}
 
 	srv := serve.NewServer(serve.Options{

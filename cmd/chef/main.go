@@ -45,6 +45,7 @@ func main() {
 		vanilla  = flag.Bool("vanilla", false, "use the unoptimized interpreter build")
 		out      = flag.String("out", "", "write generated tests as NDJSON to this file")
 		cmode    = flag.String("cachemode", "exact", "counterexample cache lookup layers: exact | subsume")
+		smode    = flag.String("solvermode", "oneshot", "decision procedure behind the cache layers: oneshot (fresh CNF per query) | incremental (assumption-scoped context with learned-clause retention)")
 		shards   = flag.Int("shards", 0, "sharded exploration: split the path space across signature-subtree ranges driven by up to N epoch workers (0 = plain session; results are identical for every N >= 1)")
 		cfile    = flag.String("cachefile", "", "persistent counterexample cache: load solved queries from this file at startup, append new ones")
 		fspec    = flag.String("faults", "", "deterministic fault-injection plan, e.g. 'seed=7;solver.unknown:p=0.05;persist.write:err@n=3' (see docs/ROBUSTNESS.md)")
@@ -65,14 +66,15 @@ func main() {
 		os.Exit(1)
 	}
 	spec := serve.JobSpec{
-		Package:   *pkgName,
-		Strategy:  *strategy,
-		Budget:    *budget,
-		StepLimit: *stepCap,
-		Seed:      *seed,
-		Vanilla:   *vanilla,
-		CacheMode: *cmode,
-		Shards:    *shards,
+		Package:    *pkgName,
+		Strategy:   *strategy,
+		Budget:     *budget,
+		StepLimit:  *stepCap,
+		Seed:       *seed,
+		Vanilla:    *vanilla,
+		CacheMode:  *cmode,
+		SolverMode: *smode,
+		Shards:     *shards,
 	}
 	if err := spec.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "chef: %v\n", err)
@@ -119,7 +121,7 @@ func main() {
 		if obsFlags.SpansEnabled() {
 			// The flusher goroutine gets its own profiler (profilers are
 			// single-goroutine); its spans land in the same registry/trace.
-			persist.SetSpans(obs.NewSpanProfiler(obsFlags.Registry(), obsFlags.Tracer()))
+			persist.Attach(solver.Instruments{Spans: obs.NewSpanProfiler(obsFlags.Registry(), obsFlags.Tracer())})
 		}
 	}
 	res, err := serve.Execute(context.Background(), spec, eo)
@@ -165,8 +167,7 @@ func main() {
 		// retry/loss counters are final when copied into the metrics dump.
 		// A close failure means appended entries were lost — exit nonzero.
 		cerr := persist.Close()
-		obsFlags.SetPersistStats(int64(persist.Loaded()), persist.Appended(),
-			persist.Retries(), persist.WriteErrors(), persist.Lost())
+		obsFlags.SetPersistStats(persist.Stats())
 		if cerr != nil {
 			obsFlags.Finish(os.Stdout)
 			fmt.Fprintf(os.Stderr, "chef: -cachefile: %v\n", cerr)

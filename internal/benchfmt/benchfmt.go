@@ -52,6 +52,16 @@ type Config struct {
 	// shard counts but follow different semantics than plain cells, so the
 	// determinism check groups them separately per package.
 	Shards int `json:"shards,omitempty"`
+	// SolverMode is the decision procedure behind the solver's cache layers
+	// ("oneshot" or "incremental"); empty means oneshot, keeping files from
+	// before the field existed valid. Incremental cells return different
+	// (equally valid) models than oneshot ones, so exploration legitimately
+	// diverges: the determinism check groups the two modes separately.
+	SolverMode string `json:"solver_mode,omitempty"`
+	// Strategy names the state-selection strategy when a cell deviates from
+	// the matrix default (e.g. "dfs" for the deep-path cells that exercise
+	// incremental solving's prefix reuse); empty means the matrix default.
+	Strategy string `json:"strategy,omitempty"`
 	// Sessions ran; Tests and VirtTime are totals across them and are
 	// deterministic. WallNs is the measured wall time of the whole cell,
 	// observational only.
@@ -98,11 +108,16 @@ func Parse(data []byte) (*File, error) {
 // contract: every variant of a package (cold vs warm cache, serial vs
 // parallel workers, 1-shard vs N-shard) must report identical Tests and
 // VirtTime, because the persistent store's read side is fixed before a run
-// and worker scheduling never reaches the virtual clock. Plain and sharded
-// cells of one package form two separate determinism groups — the sharded
-// semantics (range cells, epoch slicing) legitimately differ from the plain
-// single-session path. A violation means the determinism guarantee broke,
-// which is exactly what the bench smoke test exists to catch.
+// and worker scheduling never reaches the virtual clock. Cells of one
+// package split into determinism groups by sharding, solver mode and
+// strategy — the sharded semantics, the incremental backend's models and a
+// different state-selection order each legitimately change the explored
+// paths — and incremental cells additionally by cache warmth, because a
+// persist hit changes the context's query stream and with it later models
+// (see the key construction below). Within a group every cell must agree.
+// A violation means the
+// determinism guarantee broke, which is exactly what the bench smoke test
+// exists to catch.
 func (f *File) Validate() error {
 	if f.Schema != SchemaVersion {
 		return fmt.Errorf("schema %q, want %q", f.Schema, SchemaVersion)
@@ -158,9 +173,34 @@ func (f *File) Validate() error {
 					c.Name, c.VirtMakespan, c.VirtTime)
 			}
 		}
+		if c.SolverMode != "" && c.SolverMode != "oneshot" && c.SolverMode != "incremental" {
+			return fmt.Errorf("config %s: solver_mode %q, want oneshot or incremental", c.Name, c.SolverMode)
+		}
 		key := c.Package
 		if c.Shards > 0 {
 			key += "|sharded"
+		}
+		// Cells that change the decision procedure or the exploration
+		// strategy legitimately produce different deterministic results, so
+		// they form their own determinism groups. Empty values keep the key
+		// (and therefore old files) unchanged.
+		if c.SolverMode != "" {
+			key += "|" + c.SolverMode
+		}
+		if c.SolverMode == "incremental" {
+			// An incremental cell's models are a function of the context's
+			// whole query stream, and warmth changes the stream: a persist
+			// hit bypasses the backend, so the context sees fewer queries and
+			// later solves start from different assumption state. Only full
+			// warmth — every query replayed — reproduces the cold stream, and
+			// Unknown verdicts are never persisted, so partial warmth is
+			// inherent. Cold and warm incremental cells are therefore
+			// separate determinism groups; within each, shard counts must
+			// still agree exactly.
+			key += "|" + c.Cache
+		}
+		if c.Strategy != "" {
+			key += "|" + c.Strategy
 		}
 		got := point{c.Tests, c.VirtTime}
 		if want, ok := first[key]; ok {

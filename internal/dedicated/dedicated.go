@@ -226,7 +226,7 @@ func (e *Engine) finish(st *state, result string) {
 		return
 	}
 	e.seen[st.pathID] = true
-	res, model := e.solver.Check(st.pc, nil)
+	res, model := e.solver.CheckQuery(solver.Query{PC: st.pc, PathSig: st.pathID})
 	if res != solver.Sat {
 		return
 	}
@@ -245,7 +245,7 @@ func (e *Engine) runToCompletion(st *state, globals map[string]Value) (string, e
 // feasible checks whether pc ∧ cond is satisfiable.
 func (e *Engine) feasible(pc []*symexpr.Expr, cond *symexpr.Expr) bool {
 	q := append(append([]*symexpr.Expr(nil), pc...), cond)
-	res, _ := e.solver.Check(q, nil)
+	res, _ := e.solver.CheckQuery(solver.Query{PC: q})
 	return res == solver.Sat
 }
 

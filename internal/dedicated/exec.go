@@ -462,7 +462,7 @@ func (e *Engine) dictLookupFork(st *state, d *DictV, key Value, forIn bool) ([]*
 		missPC = append(missPC, symexpr.Not(eq))
 	}
 	// Miss case.
-	missRes, _ := e.solver.Check(missPC, nil)
+	missRes, _ := e.solver.CheckQuery(solver.Query{PC: missPC})
 	if missRes == solver.Sat {
 		ns := st.clone()
 		ns.pc = missPC
@@ -503,7 +503,7 @@ func (e *Engine) dictStoreFork(st *state, d *DictV, key, val Value) ([]*state, s
 		}
 		missPC = append(missPC, symexpr.Not(eq))
 	}
-	missRes, _ := e.solver.Check(missPC, nil)
+	missRes, _ := e.solver.CheckQuery(solver.Query{PC: missPC})
 	if missRes == solver.Sat {
 		ns := st.clone()
 		ns.pc = missPC

@@ -58,6 +58,9 @@ type Budgets struct {
 	// (exact only, or exact + subsumption). With private caches either mode is
 	// fully deterministic; see solver.QueryCache for the shared-cache caveat.
 	CacheMode solver.CacheMode
+	// SolverMode selects the decision procedure behind the cache layers
+	// (oneshot or incremental); see solver.Options.SolverMode.
+	SolverMode solver.SolverMode
 	// Persist, when non-nil, is a disk-backed store of solved queries shared
 	// by every session. Its read side is fixed before the run starts, so warm
 	// runs remain byte-identical to cold ones; see solver.PersistentStore.
@@ -91,7 +94,7 @@ type Budgets struct {
 // a nil *solver.PersistentStore in it directly would produce a non-nil
 // interface value (the typed-nil trap).
 func solverOptions(b Budgets) solver.Options {
-	so := solver.Options{Cache: b.Cache, Mode: b.CacheMode}
+	so := solver.Options{Cache: b.Cache, Mode: b.CacheMode, SolverMode: b.SolverMode}
 	if b.Persist != nil {
 		so.Persist = b.Persist
 	}

@@ -305,7 +305,7 @@ func NewEngine(prog Program, strategy Strategy, opts Options) *Engine {
 	}
 	if so.Tracer != nil {
 		// Stamp solver events with the engine's virtual clock.
-		e.solver.SetNow(func() int64 { return e.clock })
+		e.solver.Attach(solver.Instruments{Now: func() int64 { return e.clock }})
 	}
 	return e
 }
@@ -587,7 +587,10 @@ func (e *Engine) runState(st *State) *RunInfo {
 
 func (e *Engine) runStateInner(st *State) *RunInfo {
 	before := e.solver.Stats().Propagations
-	res, model := e.solver.Check(st.pc.slice(), st.base)
+	// The path condition is passed in path order (root first) with the
+	// state's trail signature: the incremental backend keys its
+	// prefix-sharing trail reuse off exactly this shape.
+	res, model := e.solver.CheckQuery(solver.Query{PC: st.pc.slice(), Base: st.base, PathSig: st.Sig})
 	e.chargeSolver(before)
 	switch res {
 	case solver.Unsat:

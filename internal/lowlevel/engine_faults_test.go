@@ -92,7 +92,7 @@ func TestBudgetStarvedRunRecoversAfterBudgetRestore(t *testing.T) {
 	if st.UnknownStates != 1 || st.RequeuedStates != 1 {
 		t.Fatalf("stats = %+v, want the starved query Unknown and re-queued", st)
 	}
-	e.Solver().SetPropBudget(0) // budget recovers
+	e.Solver().Attach(solver.Instruments{PropBudget: -1}) // budget recovers
 	exploreAll(e, 100)
 	if len(paths) != 8 {
 		t.Fatalf("distinct paths = %d, want 8 after budget recovery", len(paths))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"chef/internal/solver"
 	"chef/internal/symexpr"
 )
 
@@ -301,7 +302,7 @@ func (m *Machine) UpperBound(v SVal) uint64 {
 		return v.C
 	}
 	before := m.eng.solver.Stats().Propagations
-	max, ok := m.eng.solver.Maximize(v.Expr(), m.pc.slice(), m.assign)
+	max, ok := m.eng.solver.Maximize(v.Expr(), solver.Query{PC: m.pc.slice(), Base: m.assign})
 	m.eng.chargeSolver(before)
 	if !ok {
 		return v.C

@@ -12,11 +12,16 @@ import (
 // check contains its blast/cache/persist stages), so a profile tree built
 // from span events always nests the same way.
 const (
-	SpanServeJob      = "serve.job"
-	SpanChefSession   = "chef.session"
-	SpanEngineRun     = "engine.run"
-	SpanSolverCheck   = "solver.check"
-	SpanSolverBlast   = "solver.blast"
+	SpanServeJob    = "serve.job"
+	SpanChefSession = "chef.session"
+	SpanEngineRun   = "engine.run"
+	SpanSolverCheck = "solver.check"
+	SpanSolverBlast = "solver.blast"
+	// SpanSolverInc replaces solver.blast on the miss path when the solver
+	// runs in incremental mode: one span per assumption-scoped context solve
+	// (delta blast + solveUnderAssumptions), virtual duration = the solve's
+	// propagation cost.
+	SpanSolverInc     = "solver.inc"
 	SpanCacheLookup   = "solver.cache_lookup"
 	SpanPersistLookup = "solver.persist_lookup"
 	SpanPersistFlush  = "persist.flush"

@@ -51,6 +51,7 @@ type Event struct {
 	WallCost    int64  `json:"wall_cost_ns,omitempty"`
 	CacheHit    bool   `json:"cache_hit,omitempty"`
 	Constraints int    `json:"constraints,omitempty"`
+	PathSig     uint64 `json:"path_sig,omitempty"` // trail signature of the querying path
 
 	// Runs and test cases.
 	Status   string `json:"status,omitempty"`

@@ -16,6 +16,7 @@ import (
 
 	"chef/internal/obs"
 	"chef/internal/packages"
+	"chef/internal/solver"
 )
 
 // Flags is the standard observability flag set. Register it on a FlagSet,
@@ -131,19 +132,19 @@ func (f *Flags) SetCacheGauges(entries, evictions int64) {
 	f.reg.Gauge(obs.MSolverCacheEvicted).Set(evictions)
 }
 
-// SetPersistStats copies end-of-run persistent-store traffic (entries loaded
-// at startup, entries appended during the run, write retries/errors and
-// entries lost to the retry budget) into the dump-time metrics. A no-op when
-// metrics are disabled.
-func (f *Flags) SetPersistStats(loaded, appended, retries, writeErrors, lost int64) {
+// SetPersistStats copies an end-of-run persistent-store traffic snapshot
+// (solver.PersistentStore.Stats: entries loaded at startup, entries appended
+// during the run, write retries/errors and entries lost to the retry budget)
+// into the dump-time metrics. A no-op when metrics are disabled.
+func (f *Flags) SetPersistStats(s solver.PersistStats) {
 	if f.reg == nil {
 		return
 	}
-	f.reg.Gauge(obs.MSolverPersistLoaded).Set(loaded)
-	f.reg.Counter(obs.MSolverPersistAppended).Add(appended)
-	f.reg.Counter(obs.MSolverPersistRetries).Add(retries)
-	f.reg.Counter(obs.MSolverPersistWriteErrors).Add(writeErrors)
-	f.reg.Counter(obs.MSolverPersistLost).Add(lost)
+	f.reg.Gauge(obs.MSolverPersistLoaded).Set(s.Loaded)
+	f.reg.Counter(obs.MSolverPersistAppended).Add(s.Appended)
+	f.reg.Counter(obs.MSolverPersistRetries).Add(s.Retries)
+	f.reg.Counter(obs.MSolverPersistWriteErrors).Add(s.WriteErrors)
+	f.reg.Counter(obs.MSolverPersistLost).Add(s.Lost)
 }
 
 // Finish flushes and closes the trace file, prints the text metrics dump to w

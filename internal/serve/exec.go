@@ -78,11 +78,12 @@ func Execute(ctx context.Context, spec JobSpec, eo ExecOptions) (JobResult, erro
 	}
 	strat, _ := ParseStrategy(spec.Strategy)
 	mode, _ := solver.ParseCacheMode(spec.CacheMode)
+	smode, _ := solver.ParseSolverMode(spec.SolverMode)
 	opts := chef.Options{
 		Strategy:      strat,
 		Seed:          spec.Seed,
 		StepLimit:     spec.StepLimit,
-		SolverOptions: solver.Options{Cache: eo.Cache, Mode: mode},
+		SolverOptions: solver.Options{Cache: eo.Cache, Mode: mode, SolverMode: smode},
 		Metrics:       eo.Metrics,
 		Tracer:        eo.Tracer,
 		Spans:         eo.Spans,

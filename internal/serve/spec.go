@@ -84,12 +84,13 @@ type JobSpec struct {
 	Inputs   []InputSpec `json:"inputs,omitempty"`
 
 	// Exploration knobs, defaulted by normalize to the CLI's flag defaults.
-	Strategy  string `json:"strategy,omitempty"`  // random | cupa-path | cupa-coverage | dfs | bfs
-	Budget    int64  `json:"budget,omitempty"`    // virtual-time exploration budget
-	StepLimit int64  `json:"steplimit,omitempty"` // per-run hang threshold
-	Seed      int64  `json:"seed,omitempty"`
-	Vanilla   bool   `json:"vanilla,omitempty"`   // unoptimized interpreter build
-	CacheMode string `json:"cachemode,omitempty"` // exact | subsume
+	Strategy   string `json:"strategy,omitempty"`  // random | cupa-path | cupa-coverage | dfs | bfs
+	Budget     int64  `json:"budget,omitempty"`    // virtual-time exploration budget
+	StepLimit  int64  `json:"steplimit,omitempty"` // per-run hang threshold
+	Seed       int64  `json:"seed,omitempty"`
+	Vanilla    bool   `json:"vanilla,omitempty"`    // unoptimized interpreter build
+	CacheMode  string `json:"cachemode,omitempty"`  // exact | subsume
+	SolverMode string `json:"solvermode,omitempty"` // oneshot | incremental
 
 	// Shards selects sharded exploration (chef.ShardedSession): the job's
 	// path space is split into signature-subtree ranges driven by up to
@@ -117,6 +118,9 @@ func (s *JobSpec) normalize() {
 	}
 	if s.CacheMode == "" {
 		s.CacheMode = "exact"
+	}
+	if s.SolverMode == "" {
+		s.SolverMode = "oneshot"
 	}
 }
 
@@ -155,6 +159,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if _, ok := solver.ParseCacheMode(s.CacheMode); !ok {
 		return fmt.Errorf("unknown cachemode %q (want exact or subsume)", s.CacheMode)
+	}
+	if _, ok := solver.ParseSolverMode(s.SolverMode); !ok {
+		return fmt.Errorf("unknown solvermode %q (want oneshot or incremental)", s.SolverMode)
 	}
 	if s.Shards < 0 || s.Shards > chef.ShardSubtrees {
 		return fmt.Errorf("shards %d out of range [0, %d]", s.Shards, chef.ShardSubtrees)

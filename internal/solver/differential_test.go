@@ -129,7 +129,7 @@ func TestMaximizeProperty(t *testing.T) {
 		x := sx.NewVar(sx.Var{Buf: "x", W: sx.W8})
 		bound := uint64(1 + r.Intn(255))
 		pc := []*sx.Expr{sx.Ult(x, sx.Const(bound, sx.W8))}
-		got, ok := s.Maximize(x, pc, sx.Assignment{})
+		got, ok := s.Maximize(x, Query{PC: pc, Base: sx.Assignment{}})
 		if !ok {
 			t.Fatalf("trial %d: maximize failed for bound %d", trial, bound)
 		}

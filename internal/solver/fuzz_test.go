@@ -79,11 +79,13 @@ func fuzzBool(d *byteDriver, depth int) *sx.Expr {
 }
 
 // FuzzSolverCheck feeds byte-derived path conditions through the solver in
-// every cache mode and cross-checks: all modes must return the same verdict
-// as the cache-disabled control and the brute-force oracle, every Sat model
-// must satisfy the query, and a repeated Check (served from the cache) must
-// reproduce the verdict. The variable pool is fixed at 10 total bits, so the
-// oracle is always feasible.
+// every cache mode on both backends (oneshot and incremental) and
+// cross-checks: all configurations must return the same verdict as the
+// cache-disabled control and the brute-force oracle, every Sat model must
+// satisfy the query, and a repeated check (served from the cache, or for the
+// incremental nocache control re-solved on the retained assumption prefix)
+// must reproduce the verdict. The variable pool is fixed at 10 total bits, so
+// the oracle is always feasible.
 func FuzzSolverCheck(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
@@ -112,13 +114,16 @@ func FuzzSolverCheck(f *testing.F) {
 		}
 
 		solvers := map[string]*Solver{
-			"nocache": New(Options{DisableCache: true}),
-			"exact":   New(Options{Mode: CacheExact}),
-			"subsume": New(Options{Mode: CacheSubsume}),
+			"nocache":     New(Options{DisableCache: true}),
+			"exact":       New(Options{Mode: CacheExact}),
+			"subsume":     New(Options{Mode: CacheSubsume}),
+			"inc/nocache": New(Options{DisableCache: true, SolverMode: ModeIncremental}),
+			"inc/exact":   New(Options{Mode: CacheExact, SolverMode: ModeIncremental}),
+			"inc/subsume": New(Options{Mode: CacheSubsume, SolverMode: ModeIncremental}),
 		}
 		for name, s := range solvers {
 			for round := 0; round < 2; round++ { // round 2 exercises cache hits
-				res, model := s.Check(pc, base)
+				res, model := s.CheckQuery(Query{PC: pc, Base: base})
 				if res != want {
 					t.Fatalf("[%s round %d] solver=%v oracle=%v pc=%v base=%v",
 						name, round, res, want, pc, base)

@@ -1,0 +1,176 @@
+package solver
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	sx "chef/internal/symexpr"
+)
+
+// Incremental-backend property suite. The engine's query stream walks a
+// prefix-shared path-condition tree: each query shares a (possibly empty)
+// prefix with the previous one, and the Context pops the diverging suffix of
+// assumption levels and re-pushes the new one. These tests pin the core
+// contract of that machinery: popping and re-pushing assumptions over a
+// shared prefix never changes a verdict, and the whole stream is a
+// deterministic function of the query sequence.
+
+// prefixStream generates a query stream with the prefix-tree shape of real
+// exploration: a stack of constraints mutated by random push/pop steps, a
+// query issued against every intermediate prefix (including re-queries of
+// previously-seen prefixes after deeper excursions).
+func prefixStream(r *rand.Rand, steps, maxDepth int) [][]*sx.Expr {
+	var stack []*sx.Expr
+	out := make([][]*sx.Expr, 0, steps)
+	snapshot := func() []*sx.Expr { return append([]*sx.Expr(nil), stack...) }
+	for i := 0; i < steps; i++ {
+		switch op := r.Intn(8); {
+		case op < 4 && len(stack) < maxDepth: // push one and query
+			stack = append(stack, oracleBool(r, 2))
+			out = append(out, snapshot())
+		case op < 6 && len(stack) > 0: // pop a random suffix, then re-query the prefix
+			stack = stack[:r.Intn(len(stack))]
+			if len(stack) > 0 {
+				out = append(out, snapshot())
+			}
+		default: // re-query the current prefix unchanged (full-lcp path)
+			if len(stack) > 0 {
+				out = append(out, snapshot())
+			}
+		}
+	}
+	return out
+}
+
+// TestIncrementalPrefixPopRepush drives prefix-tree query streams through a
+// single cache-disabled incremental solver — so every query reaches the live
+// Context and exercises trail pop/re-push — and cross-checks every verdict
+// against the brute-force oracle, validating every Sat model.
+func TestIncrementalPrefixPopRepush(t *testing.T) {
+	streams := 6
+	steps := 120
+	if testing.Short() {
+		streams, steps = 3, 60
+	}
+	for seed := int64(0); seed < int64(streams); seed++ {
+		r := rand.New(rand.NewSource(7000 + seed))
+		queries := prefixStream(r, steps, 8)
+		s := New(Options{DisableCache: true, SolverMode: ModeIncremental})
+		for i, pc := range queries {
+			want, _, feasible := OracleCheck(pc)
+			if !feasible {
+				t.Fatalf("seed %d query %d: oracle infeasible for pool", seed, i)
+			}
+			res, model := s.CheckQuery(Query{PC: pc})
+			if res != want {
+				t.Fatalf("seed %d query %d (depth %d): incremental=%v oracle=%v pc=%v",
+					seed, i, len(pc), res, want, pc)
+			}
+			if res == Sat {
+				for _, c := range pc {
+					if !sx.EvalBool(c, model) {
+						t.Fatalf("seed %d query %d: model %v violates %v", seed, i, model, c)
+					}
+				}
+			}
+		}
+		if st := s.Stats(); st.IncContexts == 0 {
+			t.Fatalf("seed %d: stream solved without ever building a context: %+v", seed, st)
+		}
+	}
+}
+
+// TestIncrementalStreamDeterministic replays the same query stream through
+// two fresh incremental solvers and requires bit-identical verdicts, models
+// and stats — the per-stream determinism contract that lets per-cell solver
+// ownership stay byte-reproducible across runs and worker counts.
+func TestIncrementalStreamDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(31337))
+	queries := prefixStream(r, 150, 8)
+
+	type outcome struct {
+		res   Result
+		model sx.Assignment
+	}
+	run := func() ([]outcome, Stats) {
+		s := New(Options{DisableCache: true, SolverMode: ModeIncremental})
+		outs := make([]outcome, 0, len(queries))
+		for _, pc := range queries {
+			res, model := s.CheckQuery(Query{PC: pc})
+			outs = append(outs, outcome{res, model})
+		}
+		return outs, s.Stats()
+	}
+	a, aStats := run()
+	b, bStats := run()
+	for i := range a {
+		if a[i].res != b[i].res || !sameModel(a[i].model, b[i].model) {
+			t.Fatalf("query %d diverged across identical runs: (%v, %v) vs (%v, %v)",
+				i, a[i].res, a[i].model, b[i].res, b[i].model)
+		}
+	}
+	if !reflect.DeepEqual(aStats, bStats) {
+		t.Fatalf("stats diverged across identical runs:\n  %+v\n  %+v", aStats, bStats)
+	}
+}
+
+// TestIncrementalUnknownRecovers pins the Context's Unknown normalization: a
+// budget-exhausted query cancels the trail entirely, and the next query under
+// a restored budget re-establishes the prefix from scratch and answers
+// correctly.
+func TestIncrementalUnknownRecovers(t *testing.T) {
+	a := sx.NewVar(sx.Var{Buf: "a", W: sx.W8})
+	// Multiplication blasts to enough clauses that one propagation cannot
+	// finish the solve.
+	pc := []*sx.Expr{sx.Eq(sx.Mul(a, a), sx.Const(49, sx.W8))}
+
+	s := New(Options{DisableCache: true, SolverMode: ModeIncremental, PropBudget: 1})
+	if res, _ := s.CheckQuery(Query{PC: pc}); res != Unknown {
+		t.Fatalf("budget 1: got %v, want Unknown", res)
+	}
+	s.Attach(Instruments{PropBudget: -1}) // restore the default budget
+	res, model := s.CheckQuery(Query{PC: pc})
+	if res != Sat {
+		t.Fatalf("restored budget: got %v, want Sat", res)
+	}
+	if !sx.EvalBool(pc[0], model) {
+		t.Fatalf("restored budget: model %v violates %v", model, pc[0])
+	}
+	// The same solver keeps answering correctly on a diverging prefix.
+	pc2 := []*sx.Expr{pc[0], sx.Ult(a, sx.Const(5, sx.W8))}
+	want, _, _ := OracleCheck(pc2)
+	if res, _ := s.CheckQuery(Query{PC: pc2}); res != want {
+		t.Fatalf("follow-up query: got %v, oracle says %v", res, want)
+	}
+}
+
+// TestIncrementalStatsPopulated checks the solver.inc.* stats actually move:
+// a prefix-shared stream must allocate assumptions, reuse at least one
+// context, and (after conflicts) carry learned clauses between queries.
+func TestIncrementalStatsPopulated(t *testing.T) {
+	a := sx.NewVar(sx.Var{Buf: "a", W: sx.W8})
+	grow := []*sx.Expr{
+		sx.Ult(a, sx.Const(200, sx.W8)),
+		sx.Ult(sx.Const(10, sx.W8), a),
+		sx.Ne(a, sx.Const(50, sx.W8)),
+		sx.Eq(sx.And(a, sx.Const(3, sx.W8)), sx.Const(1, sx.W8)),
+	}
+	s := New(Options{DisableCache: true, SolverMode: ModeIncremental})
+	for i := 1; i <= len(grow); i++ {
+		if res, _ := s.CheckQuery(Query{PC: grow[:i]}); res != Sat {
+			t.Fatalf("prefix %d: %v, want Sat", i, res)
+		}
+	}
+	st := s.Stats()
+	if st.IncContexts != 1 {
+		t.Fatalf("growing prefix stream built %d contexts, want 1: %+v", st.IncContexts, st)
+	}
+	if st.IncAssumptions != int64(len(grow)) {
+		t.Fatalf("allocated %d assumption literals, want %d (one per distinct constraint): %+v",
+			st.IncAssumptions, len(grow), st)
+	}
+	if st.IncRebuilds != 0 {
+		t.Fatalf("unexpected context rebuilds: %+v", st)
+	}
+}

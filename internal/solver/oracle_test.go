@@ -140,10 +140,11 @@ func checkAgainstOracle(t *testing.T, cfg string, i int, q oracleQuery, s *Solve
 	return res, model
 }
 
-// TestSolverMatchesOracle cross-checks every cache mode x slicing setting,
-// with both fresh private caches and a cache shared between two solvers, on
-// the same generated query set. Together with the warm/cold persistent pass
-// below, the suite compares well over 10k (query, configuration) pairs.
+// TestSolverMatchesOracle cross-checks every backend x cache mode x slicing
+// setting, with both fresh private caches and a cache shared between two
+// solvers, on the same generated query set. Together with the warm/cold
+// persistent pass below, the suite compares well over 10k (query,
+// configuration) pairs.
 func TestSolverMatchesOracle(t *testing.T) {
 	n := 400
 	if !testing.Short() {
@@ -152,32 +153,54 @@ func TestSolverMatchesOracle(t *testing.T) {
 	queries := genOracleQueries(t, n, 424242)
 
 	modes := []CacheMode{CacheExact, CacheSubsume}
-	for _, mode := range modes {
-		for _, noSlice := range []bool{false, true} {
-			cfg := "mode=" + mode.String()
-			if noSlice {
-				cfg += "/noslice"
+	for _, sm := range []SolverMode{ModeOneshot, ModeIncremental} {
+		qs := queries
+		if sm == ModeIncremental {
+			// The random stream shares no prefixes, so every query pops the
+			// whole trail and re-propagates the accumulated context — the
+			// backend's worst case, with per-query cost growing in stream
+			// position. A third of the stream keeps the verdict cross-check
+			// broad without dominating suite wall time; prefix-shaped
+			// streams (the representative workload) are exercised at full
+			// depth by TestIncrementalPrefixPopRepush.
+			qs = queries[:len(queries)/3]
+		}
+		for _, mode := range modes {
+			// Slicing is a no-op under the incremental backend (it always
+			// solves in path order), so the noslice cell only exists for
+			// oneshot — under incremental it would duplicate the default.
+			noSlices := []bool{false, true}
+			if sm == ModeIncremental {
+				noSlices = []bool{false}
 			}
-			s := New(Options{Mode: mode, DisableSlicing: noSlice})
-			for i, q := range queries {
-				checkAgainstOracle(t, cfg, i, q, s)
+			for _, noSlice := range noSlices {
+				cfg := "backend=" + sm.String() + "/mode=" + mode.String()
+				if noSlice {
+					cfg += "/noslice"
+				}
+				s := New(Options{Mode: mode, DisableSlicing: noSlice, SolverMode: sm})
+				for i, q := range qs {
+					checkAgainstOracle(t, cfg, i, q, s)
+				}
 			}
-		}
-		// Shared cache between two solvers, queries interleaved: the second
-		// solver sees entries it never stored.
-		cfg := "mode=" + mode.String() + "/shared"
-		shared := NewQueryCache(0)
-		ss := []*Solver{
-			New(Options{Mode: mode, Cache: shared}),
-			New(Options{Mode: mode, Cache: shared}),
-		}
-		for i, q := range queries {
-			checkAgainstOracle(t, cfg, i, q, ss[i%2])
-		}
-		// No cache at all, as the control.
-		s := New(Options{Mode: mode, DisableCache: true})
-		for i, q := range queries {
-			checkAgainstOracle(t, "mode="+mode.String()+"/nocache", i, q, s)
+			// Shared cache between two solvers, queries interleaved: the second
+			// solver sees entries it never stored.
+			cfg := "backend=" + sm.String() + "/mode=" + mode.String() + "/shared"
+			shared := NewQueryCache(0)
+			ss := []*Solver{
+				New(Options{Mode: mode, Cache: shared, SolverMode: sm}),
+				New(Options{Mode: mode, Cache: shared, SolverMode: sm}),
+			}
+			for i, q := range qs {
+				checkAgainstOracle(t, cfg, i, q, ss[i%2])
+			}
+			// No cache at all, as the control. For the incremental backend
+			// this is the hardest configuration: every query reaches the
+			// live context, so every verdict exercises trail pop/re-push.
+			s := New(Options{Mode: mode, DisableCache: true, SolverMode: sm})
+			for i, q := range qs {
+				checkAgainstOracle(t, "backend="+sm.String()+"/mode="+mode.String()+"/nocache", i, q, s)
+			}
 		}
 	}
 }
@@ -199,7 +222,7 @@ func TestSolverMatchesOraclePersistent(t *testing.T) {
 		res   Result
 		model sx.Assignment
 	}
-	runPass := func(label string, mode CacheMode) ([]outcome, Stats) {
+	runPass := func(label string, mode CacheMode, sm SolverMode, qs []oracleQuery) ([]outcome, Stats) {
 		store, err := OpenPersistentStore(path)
 		if err != nil {
 			t.Fatalf("%s: open: %v", label, err)
@@ -212,38 +235,52 @@ func TestSolverMatchesOraclePersistent(t *testing.T) {
 		if cerr := store.Corruption(); cerr != nil {
 			t.Fatalf("%s: unexpected corruption: %v", label, cerr)
 		}
-		s := New(Options{Mode: mode, Persist: store})
-		outs := make([]outcome, 0, len(queries))
-		for i, q := range queries {
+		s := New(Options{Mode: mode, Persist: store, SolverMode: sm})
+		outs := make([]outcome, 0, len(qs))
+		for i, q := range qs {
 			res, model := checkAgainstOracle(t, label, i, q, s)
 			outs = append(outs, outcome{res, model})
 		}
 		return outs, s.Stats()
 	}
 
-	for _, mode := range []CacheMode{CacheExact, CacheSubsume} {
-		if err := removeIfExists(path); err != nil {
-			t.Fatal(err)
+	for _, sm := range []SolverMode{ModeOneshot, ModeIncremental} {
+		qs := queries
+		if sm == ModeIncremental {
+			// Same wall-time consideration as TestSolverMatchesOracle: the
+			// prefix-free random stream is the incremental backend's worst
+			// case, and the cold/warm replay contract is independent of
+			// stream length.
+			qs = queries[:len(queries)/3]
 		}
-		cold, coldStats := runPass("cold/"+mode.String(), mode)
-		warm, warmStats := runPass("warm/"+mode.String(), mode)
-		if warmStats.CacheHitsPersist == 0 {
-			t.Fatalf("mode=%s: warm pass recorded no persistent hits", mode)
-		}
-		if coldStats.Propagations != warmStats.Propagations {
-			t.Fatalf("mode=%s: virtual cost diverged: cold %d, warm %d propagations",
-				mode, coldStats.Propagations, warmStats.Propagations)
-		}
-		if coldStats.SatQueries != warmStats.SatQueries || coldStats.UnsatQueries != warmStats.UnsatQueries {
-			t.Fatalf("mode=%s: solve counters diverged: cold %+v warm %+v", mode, coldStats, warmStats)
-		}
-		for i := range cold {
-			if cold[i].res != warm[i].res {
-				t.Fatalf("mode=%s query %d: cold %v, warm %v", mode, i, cold[i].res, warm[i].res)
+		for _, mode := range []CacheMode{CacheExact, CacheSubsume} {
+			cfg := sm.String() + "/" + mode.String()
+			if err := removeIfExists(path); err != nil {
+				t.Fatal(err)
 			}
-			if !sameModel(cold[i].model, warm[i].model) {
-				t.Fatalf("mode=%s query %d: cold model %v, warm model %v",
-					mode, i, cold[i].model, warm[i].model)
+			// A fully-warm store replays every cold verdict, model and cost
+			// byte-for-byte regardless of backend: the cold pass recorded the
+			// whole stream, so the warm pass never reaches the live context.
+			cold, coldStats := runPass("cold/"+cfg, mode, sm, qs)
+			warm, warmStats := runPass("warm/"+cfg, mode, sm, qs)
+			if warmStats.CacheHitsPersist == 0 {
+				t.Fatalf("cfg=%s: warm pass recorded no persistent hits", cfg)
+			}
+			if coldStats.Propagations != warmStats.Propagations {
+				t.Fatalf("cfg=%s: virtual cost diverged: cold %d, warm %d propagations",
+					cfg, coldStats.Propagations, warmStats.Propagations)
+			}
+			if coldStats.SatQueries != warmStats.SatQueries || coldStats.UnsatQueries != warmStats.UnsatQueries {
+				t.Fatalf("cfg=%s: solve counters diverged: cold %+v warm %+v", cfg, coldStats, warmStats)
+			}
+			for i := range cold {
+				if cold[i].res != warm[i].res {
+					t.Fatalf("cfg=%s query %d: cold %v, warm %v", cfg, i, cold[i].res, warm[i].res)
+				}
+				if !sameModel(cold[i].model, warm[i].model) {
+					t.Fatalf("cfg=%s query %d: cold model %v, warm model %v",
+						cfg, i, cold[i].model, warm[i].model)
+				}
 			}
 		}
 	}

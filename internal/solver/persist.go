@@ -127,7 +127,7 @@ type PersistentStore struct {
 
 	// spans, when set, profiles physical flushes (layer persist.flush). The
 	// profiler is used only by the single flusher goroutine; the atomic makes
-	// SetSpans safe after the flush loop has started.
+	// Attach safe after the flush loop has started.
 	spans atomic.Pointer[obs.SpanProfiler]
 
 	flushCh chan struct{}
@@ -244,6 +244,27 @@ func (p *PersistentStore) WriteErrors() int64 { return p.writeErrsN.Load() }
 // was exhausted. Lost entries are subtracted from Appended.
 func (p *PersistentStore) Lost() int64 { return p.lostN.Load() }
 
+// PersistStats is a point-in-time snapshot of the store's traffic counters,
+// as one value (the shape obscli.Flags.SetPersistStats consumes).
+type PersistStats struct {
+	Loaded      int64 // entries loaded at startup
+	Appended    int64 // entries appended and still on track to be durable
+	Retries     int64 // flush retry attempts after failed writes
+	WriteErrors int64 // failed physical write attempts
+	Lost        int64 // entries dropped after the retry budget
+}
+
+// Stats returns a snapshot of the store's traffic counters.
+func (p *PersistentStore) Stats() PersistStats {
+	return PersistStats{
+		Loaded:      int64(p.loaded),
+		Appended:    p.appendedN.Load(),
+		Retries:     p.retriesN.Load(),
+		WriteErrors: p.writeErrsN.Load(),
+		Lost:        p.lostN.Load(),
+	}
+}
+
 // SetFaults installs a fault injector consulted on every physical write
 // (persist.write rules; see internal/faults). The injector is safe for
 // concurrent use by the background flusher. Install it before the first
@@ -254,12 +275,16 @@ func (p *PersistentStore) SetFaults(in *faults.Injector) {
 	p.mu.Unlock()
 }
 
-// SetSpans installs a span profiler for the background flusher: every
+// Attach installs run-time instruments on the store. Only Instruments.Spans
+// is meaningful here: a span profiler for the background flusher — every
 // physical flush attempt closes one persist.flush span (wall time only; the
 // flusher never touches the virtual clock). The profiler becomes the flusher
-// goroutine's private instance — do not share it with an engine.
-func (p *PersistentStore) SetSpans(sp *obs.SpanProfiler) {
-	p.spans.Store(sp)
+// goroutine's private instance — do not share it with an engine. Fields left
+// at their zero value keep the current attachment.
+func (p *PersistentStore) Attach(in Instruments) {
+	if in.Spans != nil {
+		p.spans.Store(in.Spans)
+	}
 }
 
 // Corruption returns the load error that stopped record parsing, or nil if

@@ -63,6 +63,61 @@ func ParseCacheMode(s string) (CacheMode, bool) {
 	return CacheExact, false
 }
 
+// SolverMode selects the decision procedure behind the cache/persist front
+// end: the historical oneshot backend (fresh CNF per query) or the
+// assumption-scoped incremental backend (one live Context per solver, see
+// incremental.go).
+type SolverMode uint8
+
+// Solver modes. ModeOneshot is the default and preserves the historical
+// byte-exact behavior; ModeIncremental retains blasted CNF, trail prefixes
+// and learned clauses across the queries of one solver.
+const (
+	ModeOneshot SolverMode = iota
+	ModeIncremental
+)
+
+func (m SolverMode) String() string {
+	if m == ModeIncremental {
+		return "incremental"
+	}
+	return "oneshot"
+}
+
+// ParseSolverMode maps the -solvermode flag spellings to a SolverMode.
+func ParseSolverMode(s string) (SolverMode, bool) {
+	switch s {
+	case "oneshot", "":
+		return ModeOneshot, true
+	case "incremental":
+		return ModeIncremental, true
+	}
+	return ModeOneshot, false
+}
+
+// Cost is the virtual work a backend performed for one Solve call, in the
+// units Stats accumulates (and the engine converts to virtual time).
+type Cost struct {
+	Propagations int64
+	Conflicts    int64
+	ClausesAdded int64
+}
+
+// Backend is the decision procedure behind the solver front end. The
+// constant filter, slicing, canonicalization and every cache layer (exact,
+// subsume, persistent) compose in front of it unchanged; a Backend only sees
+// the queries that miss all of them. The oneshot backend receives canonical
+// constraint order; the incremental backend receives path order (root
+// first), which is what its prefix reuse keys off. A Backend is owned by one
+// Solver and shares its single-goroutine discipline.
+type Backend interface {
+	// Mode reports which SolverMode the backend implements.
+	Mode() SolverMode
+	// Solve decides the conjunction of pc under the given propagation
+	// budget. On Sat the model must cover every variable of pc.
+	Solve(pc []*symexpr.Expr, budget int64) (Result, symexpr.Assignment, Cost)
+}
+
 // Options configure the solver front end. The zero value enables every
 // optimization with an effectively unlimited budget.
 type Options struct {
@@ -72,6 +127,15 @@ type Options struct {
 	DisableCache bool
 	// Mode selects the cache lookup layers (exact only, or exact+subsume).
 	Mode CacheMode
+	// SolverMode selects the decision procedure behind the cache layers:
+	// ModeOneshot (default; fresh CNF per query) or ModeIncremental
+	// (assumption-scoped Context with trail and learned-clause retention).
+	// Incremental mode skips slicing — slicing rewrites the constraint
+	// sequence per query, destroying the path-prefix structure the Context
+	// reuses — and its models and propagation costs are a deterministic
+	// function of the solver's whole query stream rather than of each query
+	// alone (see Context).
+	SolverMode SolverMode
 	// PropBudget caps SAT propagations per query; 0 means the default cap.
 	PropBudget int64
 	// Cache, when non-nil, is used as the counterexample cache instead of a
@@ -143,6 +207,12 @@ type Stats struct {
 	CacheHitsSubsumeSat   int64
 	CacheHitsSubsumeUnsat int64
 	CacheHitsPersist      int64
+
+	// Incremental-backend counters (zero in oneshot mode).
+	IncContexts    int64 // contexts built (first query + rebuilds)
+	IncAssumptions int64 // assumption literals allocated
+	IncLearnedKept int64 // learned clauses carried into a query, summed over queries
+	IncRebuilds    int64 // contexts discarded at the growth caps
 }
 
 // Add folds another snapshot into s, field by field. It is the merge helper
@@ -161,33 +231,42 @@ func (s *Stats) Add(o Stats) {
 	s.CacheHitsSubsumeSat += o.CacheHitsSubsumeSat
 	s.CacheHitsSubsumeUnsat += o.CacheHitsSubsumeUnsat
 	s.CacheHitsPersist += o.CacheHitsPersist
+	s.IncContexts += o.IncContexts
+	s.IncAssumptions += o.IncAssumptions
+	s.IncLearnedKept += o.IncLearnedKept
+	s.IncRebuilds += o.IncRebuilds
 }
 
 // Solver decides conjunctions of width-1 bit-vector expressions.
 // A Solver is not safe for concurrent use; concurrency happens one solver per
 // session, optionally sharing a thread-safe QueryCache (Options.Cache).
 type Solver struct {
-	opts  Options
-	stats Stats
-	cache *QueryCache // nil iff DisableCache and no shared cache given
+	opts    Options
+	stats   Stats
+	cache   *QueryCache // nil iff DisableCache and no shared cache given
+	backend Backend
 
 	// Observability (all nil when disabled).
-	tracer     obs.Tracer
-	spans      *obs.SpanProfiler
-	now        func() int64 // virtual clock source for trace events
-	mQueries   *obs.Counter
-	mSat       *obs.Counter
-	mUnsat     *obs.Counter
-	mUnknown   *obs.Counter
-	mHits      *obs.Counter
-	mMisses    *obs.Counter
-	mHitsExact *obs.Counter
-	mHitsSubS  *obs.Counter
-	mHitsSubU  *obs.Counter
-	mHitsPers  *obs.Counter
-	hVirt      *obs.Histogram
-	hWall      *obs.Histogram
-	observing  bool
+	tracer          obs.Tracer
+	spans           *obs.SpanProfiler
+	now             func() int64 // virtual clock source for trace events
+	mQueries        *obs.Counter
+	mSat            *obs.Counter
+	mUnsat          *obs.Counter
+	mUnknown        *obs.Counter
+	mHits           *obs.Counter
+	mMisses         *obs.Counter
+	mHitsExact      *obs.Counter
+	mHitsSubS       *obs.Counter
+	mHitsSubU       *obs.Counter
+	mHitsPers       *obs.Counter
+	mIncContexts    *obs.Counter
+	mIncAssumptions *obs.Counter
+	mIncLearnedKept *obs.Counter
+	mIncRebuilds    *obs.Counter
+	hVirt           *obs.Histogram
+	hWall           *obs.Histogram
+	observing       bool
 }
 
 type cachedQuery struct {
@@ -219,8 +298,19 @@ func New(opts Options) *Solver {
 		s.mHitsSubS = reg.Counter(obs.MSolverCacheHitsSubsumeSat)
 		s.mHitsSubU = reg.Counter(obs.MSolverCacheHitsSubsumeUnsat)
 		s.mHitsPers = reg.Counter(obs.MSolverCacheHitsPersist)
+		if opts.SolverMode == ModeIncremental {
+			s.mIncContexts = reg.Counter(obs.MSolverIncContexts)
+			s.mIncAssumptions = reg.Counter(obs.MSolverIncAssumptions)
+			s.mIncLearnedKept = reg.Counter(obs.MSolverIncLearnedKept)
+			s.mIncRebuilds = reg.Counter(obs.MSolverIncRebuilds)
+		}
 		s.hVirt = reg.Histogram(obs.MSolverQueryVirt)
 		s.hWall = reg.Histogram(obs.MSolverQueryWall)
+	}
+	if opts.SolverMode == ModeIncremental {
+		s.backend = &incrementalBackend{s: s}
+	} else {
+		s.backend = oneshotBackend{}
 	}
 	s.tracer = opts.Tracer
 	s.spans = opts.Spans
@@ -228,9 +318,44 @@ func New(opts Options) *Solver {
 	return s
 }
 
-// SetNow installs a virtual-clock source used to timestamp trace events (the
-// engine points it at its own clock). Purely observational.
-func (s *Solver) SetNow(now func() int64) { s.now = now }
+// Instruments bundles the run-time attachments a Solver (or PersistentStore)
+// owner may install after construction. It replaces the old SetNow /
+// SetPropBudget / SetSpans setter sprawl with one call; zero-valued fields
+// leave the corresponding attachment unchanged, so owners can attach just
+// the pieces they have.
+type Instruments struct {
+	// Now, when non-nil, is the virtual-clock source used to timestamp trace
+	// events (the engine points it at its own clock). Purely observational.
+	Now func() int64
+	// Spans, when non-nil, replaces the hierarchical span profiler.
+	Spans *obs.SpanProfiler
+	// PropBudget, when > 0, replaces the per-query propagation budget; when
+	// < 0 it restores the default. It models budget recovery in the
+	// degradation tests: a query that came back Unknown under a starved
+	// budget succeeds when retried after the budget recovers (Unknown
+	// results are never cached, so the retry reaches the SAT core).
+	PropBudget int64
+}
+
+// Attach installs run-time instruments on the solver. Fields left at their
+// zero value keep the current attachment.
+func (s *Solver) Attach(in Instruments) {
+	if in.Now != nil {
+		s.now = in.Now
+	}
+	if in.Spans != nil {
+		s.spans = in.Spans
+		s.observing = true
+	}
+	if in.PropBudget > 0 {
+		s.opts.PropBudget = in.PropBudget
+	} else if in.PropBudget < 0 {
+		s.opts.PropBudget = defaultPropBudget
+	}
+}
+
+// Backend returns the solver's decision procedure (for mode inspection).
+func (s *Solver) Backend() Backend { return s.backend }
 
 // Stats returns a value snapshot of the accumulated counters, taken at call
 // time. The copy does not track later queries (staleness-by-copy is the
@@ -242,38 +367,50 @@ func (s *Solver) Stats() Stats { return s.stats }
 // disabled). It may be a cache shared with other solvers.
 func (s *Solver) Cache() *QueryCache { return s.cache }
 
-// SetPropBudget replaces the per-query propagation budget; n <= 0 restores
-// the default. It models budget recovery in the degradation tests: a query
-// that came back Unknown under a starved budget succeeds when retried after
-// the budget recovers (Unknown results are never cached, so the retry
-// reaches the SAT core).
-func (s *Solver) SetPropBudget(n int64) {
-	if n <= 0 {
-		n = defaultPropBudget
-	}
-	s.opts.PropBudget = n
+// Query is one satisfiability question over a path condition.
+type Query struct {
+	// PC is the conjunction to decide, in path order: root-most constraint
+	// first, exactly as the engine's pcNode chain unrolls. The incremental
+	// backend keys its prefix reuse off this order; the front end
+	// canonicalizes a copy for the cache layers, so callers need not sort.
+	PC []*symexpr.Expr
+	// Base, when non-nil, supplies concrete values for input variables from
+	// the parent path; slicing uses it to keep already-satisfied independent
+	// constraint groups at their known values, so only the group touched by
+	// the freshly negated constraint is re-solved (either backend).
+	Base symexpr.Assignment
+	// PathSig, when non-zero, identifies the exploration path the query
+	// belongs to (the engine's trail signature). Purely observational: it
+	// labels the query's trace event.
+	PathSig uint64
 }
 
-// Check decides whether the conjunction pc is satisfiable. base supplies
-// concrete values for input variables from the parent path; slicing uses it
-// to keep already-satisfied independent constraint groups at their known
-// values, so only the group touched by the freshly negated constraint is
-// re-solved. On Sat the returned assignment covers every variable in pc
-// (values from base are reused where valid).
+// Check decides whether the conjunction pc is satisfiable.
 //
-// When observability is enabled (Options.Metrics/Tracer), Check additionally
-// records per-query latency in virtual units (SAT propagations) and
-// wall-clock ns, and emits a solver-query trace event. The wall clock is read
-// only on this instrumented path and influences nothing the solver returns.
+// Deprecated: Check is the positional pre-Query entry point, kept as a thin
+// wrapper for one release. Use CheckQuery.
 func (s *Solver) Check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, symexpr.Assignment) {
+	return s.CheckQuery(Query{PC: pc, Base: base})
+}
+
+// CheckQuery decides whether the conjunction q.PC is satisfiable. On Sat the
+// returned assignment covers every variable in q.PC (in oneshot mode, values
+// from q.Base are reused where valid).
+//
+// When observability is enabled (Options.Metrics/Tracer), CheckQuery
+// additionally records per-query latency in virtual units (SAT propagations)
+// and wall-clock ns, and emits a solver-query trace event. The wall clock is
+// read only on this instrumented path and influences nothing the solver
+// returns.
+func (s *Solver) CheckQuery(q Query) (Result, symexpr.Assignment) {
 	if !s.observing {
-		return s.check(pc, base)
+		return s.check(q)
 	}
 	propsBefore := s.stats.Propagations
 	before := s.stats
 	sp := s.spans.Start(obs.SpanSolverCheck)
 	start := time.Now()
-	res, model := s.check(pc, base)
+	res, model := s.check(q)
 	virt := s.stats.Propagations - propsBefore
 	sp.End(virt)
 	wall := time.Since(start).Nanoseconds()
@@ -318,19 +455,21 @@ func (s *Solver) Check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 			VirtCost:    virt,
 			WallCost:    wall,
 			CacheHit:    cacheHit,
-			Constraints: len(pc),
+			Constraints: len(q.PC),
+			PathSig:     q.PathSig,
 		})
 	}
 	return res, model
 }
 
-// check is the uninstrumented core of Check.
-func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, symexpr.Assignment) {
+// check is the uninstrumented core of CheckQuery.
+func (s *Solver) check(q Query) (Result, symexpr.Assignment) {
 	s.stats.Queries++
+	incremental := s.opts.SolverMode == ModeIncremental
 	// Constant-filter: drop constraints that are literally true; a literally
 	// false constraint decides the query immediately.
-	work := make([]*symexpr.Expr, 0, len(pc))
-	for _, c := range pc {
+	work := make([]*symexpr.Expr, 0, len(q.PC))
+	for _, c := range q.PC {
 		if c.IsConst() {
 			if c.ConstVal() == 0 {
 				s.stats.UnsatQueries++
@@ -347,8 +486,14 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 
 	toSolve := work
 	kept := symexpr.Assignment{}
-	if !s.opts.DisableSlicing && base != nil {
-		toSolve, kept = slice(work, base)
+	if !s.opts.DisableSlicing && q.Base != nil {
+		// Slicing composes with either backend: it is a pure function of
+		// (pc, base), so the backend sees a deterministic sub-conjunction
+		// stream. For the incremental backend the sliced queries still share
+		// prefixes — a branch flip at depth d keeps the touched group of
+		// nearby flips — and the constraints it drops stay warm in the
+		// context's gated circuitry for the next query that touches them.
+		toSolve, kept = slice(work, q.Base)
 		if len(toSolve) == 0 {
 			s.stats.SatQueries++
 			return Sat, kept
@@ -356,10 +501,21 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 	}
 
 	// Canonicalize: sort by the process-independent structural order and
-	// dedup. The SAT core sees the canonical sequence, so the result *and
-	// model* are a pure function of the constraint set — the property every
-	// cache layer (exact, subsume, persistent) relies on.
-	canon := canonicalize(toSolve)
+	// dedup. The oneshot backend sees the canonical sequence, so its result
+	// *and model* are a pure function of the constraint set — the property
+	// every cache layer (exact, subsume, persistent) relies on. The
+	// incremental backend instead keeps path order (its prefix reuse depends
+	// on it) and canonicalizes a copy for the cache keys only; its models
+	// are a function of the solver's whole query stream, which per-cell
+	// solver ownership keeps deterministic.
+	backendInput := toSolve
+	var canon []*symexpr.Expr
+	if incremental {
+		canon = canonicalize(append([]*symexpr.Expr(nil), toSolve...))
+	} else {
+		canon = canonicalize(toSolve)
+		backendInput = canon
+	}
 	key := canonKey(canon)
 
 	if s.cache != nil {
@@ -426,17 +582,23 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 		s.stats.CacheMisses++
 	}
 
-	propsBefore := s.stats.Propagations
-	bsp := s.spans.Start(obs.SpanSolverBlast)
+	spanLayer := obs.SpanSolverBlast
+	if incremental {
+		spanLayer = obs.SpanSolverInc
+	}
+	bsp := s.spans.Start(spanLayer)
 	var res Result
 	var model symexpr.Assignment
+	var cost Cost
 	if s.opts.Faults.Fire(faults.SolverUnknown) {
 		res = Unknown
 	} else {
-		res, model = s.solveCNF(canon)
+		res, model, cost = s.backend.Solve(backendInput, s.opts.PropBudget)
+		s.stats.Propagations += cost.Propagations
+		s.stats.Conflicts += cost.Conflicts
+		s.stats.ClausesAdded += cost.ClausesAdded
 	}
-	cost := s.stats.Propagations - propsBefore
-	bsp.End(cost)
+	bsp.End(cost.Propagations)
 	if res != Unknown {
 		if s.cache != nil {
 			s.cache.Store(key, canon, res, model)
@@ -446,7 +608,7 @@ func (s *Solver) check(pc []*symexpr.Expr, base symexpr.Assignment) (Result, sym
 			// subsume-derived entry could answer differently from the solve a
 			// cold run performs (different model for the same key), breaking
 			// warm/cold equivalence.
-			s.opts.Persist.Append(key, canon, res, model, cost)
+			s.opts.Persist.Append(key, canon, res, model, cost.Propagations)
 		}
 	}
 	switch res {
@@ -505,9 +667,16 @@ func merge(into, from symexpr.Assignment) symexpr.Assignment {
 	return into
 }
 
-func (s *Solver) solveCNF(constraints []*symexpr.Expr) (Result, symexpr.Assignment) {
+// oneshotBackend is the historical decision procedure: a fresh satSolver and
+// blaster per query, discarded afterwards. Its result and model are a pure
+// function of the (canonical) constraint sequence.
+type oneshotBackend struct{}
+
+func (oneshotBackend) Mode() SolverMode { return ModeOneshot }
+
+func (oneshotBackend) Solve(constraints []*symexpr.Expr, budget int64) (Result, symexpr.Assignment, Cost) {
 	sat := newSatSolver()
-	sat.budget = s.opts.PropBudget
+	sat.budget = budget
 	bl := newBlaster(sat)
 	ok := true
 	for _, c := range constraints {
@@ -516,19 +685,17 @@ func (s *Solver) solveCNF(constraints []*symexpr.Expr) (Result, symexpr.Assignme
 			break
 		}
 	}
-	defer func() {
-		s.stats.Propagations += sat.propsN
-		s.stats.Conflicts += sat.conflicts
-		s.stats.ClausesAdded += int64(len(sat.clauses))
-	}()
+	cost := func() Cost {
+		return Cost{Propagations: sat.propsN, Conflicts: sat.conflicts, ClausesAdded: int64(len(sat.clauses))}
+	}
 	if !ok {
-		return Unsat, nil
+		return Unsat, nil, cost()
 	}
 	switch sat.solve() {
 	case resUnsat:
-		return Unsat, nil
+		return Unsat, nil, cost()
 	case resUnknown:
-		return Unknown, nil
+		return Unknown, nil, cost()
 	}
 	m := sat.model()
 	out := symexpr.Assignment{}
@@ -541,7 +708,7 @@ func (s *Solver) solveCNF(constraints []*symexpr.Expr) (Result, symexpr.Assignme
 		}
 		out[v] = val
 	}
-	return Sat, out
+	return Sat, out, cost()
 }
 
 // slice partitions constraints into groups connected by shared variables and
@@ -580,7 +747,7 @@ func slice(pc []*symexpr.Expr, base symexpr.Assignment) ([]*symexpr.Expr, symexp
 		r := find(i)
 		groups[r] = append(groups[r], i)
 	}
-	var unsatisfied []*symexpr.Expr
+	var keepIdx []int
 	kept := symexpr.Assignment{}
 	// Deterministic group order.
 	roots := make([]int, 0, len(groups))
@@ -604,34 +771,44 @@ func slice(pc []*symexpr.Expr, base symexpr.Assignment) ([]*symexpr.Expr, symexp
 				}
 			}
 		} else {
-			for _, i := range idxs {
-				unsatisfied = append(unsatisfied, pc[i])
-			}
+			keepIdx = append(keepIdx, idxs...)
 		}
+	}
+	// Surviving constraints keep their original path order: the oneshot
+	// backend canonicalizes anyway, and the incremental backend's prefix
+	// reuse depends on consecutive queries sharing a pointer prefix, which
+	// path order preserves and group order would shuffle.
+	sort.Ints(keepIdx)
+	unsatisfied := make([]*symexpr.Expr, 0, len(keepIdx))
+	for _, i := range keepIdx {
+		unsatisfied = append(unsatisfied, pc[i])
 	}
 	return unsatisfied, kept
 }
 
-// Maximize returns the largest value e can take subject to pc, found by
+// Maximize returns the largest value e can take subject to q.PC, found by
 // binary search over satisfiability queries. It implements the upper_bound
 // API call from Table 1 of the paper. The boolean result is false when even
-// the base query is unsatisfiable or the budget ran out.
-func (s *Solver) Maximize(e *symexpr.Expr, pc []*symexpr.Expr, base symexpr.Assignment) (uint64, bool) {
+// the base query is unsatisfiable or the budget ran out. Each probe appends
+// its bound constraint after the unchanged path condition, so in incremental
+// mode the whole search reuses the path prefix and only the bound is pushed
+// and popped per probe.
+func (s *Solver) Maximize(e *symexpr.Expr, q Query) (uint64, bool) {
 	if e.IsConst() {
 		return e.ConstVal(), true
 	}
 	w := e.Width()
-	res, model := s.Check(pc, base)
+	res, model := s.CheckQuery(q)
 	if res != Sat {
 		return 0, false
 	}
-	best := symexpr.Eval(e, merge(model.Clone(), base))
+	best := symexpr.Eval(e, merge(model.Clone(), q.Base))
 	lo, hi := best, w.Mask()
 	for lo < hi {
 		mid := lo + (hi-lo+1)/2
-		q := append(append([]*symexpr.Expr(nil), pc...),
+		probe := append(append([]*symexpr.Expr(nil), q.PC...),
 			symexpr.Ule(symexpr.Const(mid, w), e))
-		res, model = s.Check(q, nil)
+		res, model = s.CheckQuery(Query{PC: probe, PathSig: q.PathSig})
 		if res == Sat {
 			got := symexpr.Eval(e, model)
 			if got < mid {

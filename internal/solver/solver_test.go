@@ -190,22 +190,22 @@ func TestMaximize(t *testing.T) {
 	s := New(Options{})
 	x := v8("x", 0)
 	// x < 100 => max is 99
-	got, ok := s.Maximize(x, pc(sx.Ult(x, c8(100))), sx.Assignment{})
+	got, ok := s.Maximize(x, Query{PC: pc(sx.Ult(x, c8(100))), Base: sx.Assignment{}})
 	if !ok || got != 99 {
 		t.Fatalf("Maximize = %d, %v; want 99, true", got, ok)
 	}
 	// Unconstrained: max is 255.
-	got, ok = s.Maximize(x, nil, sx.Assignment{})
+	got, ok = s.Maximize(x, Query{Base: sx.Assignment{}})
 	if !ok || got != 255 {
 		t.Fatalf("Maximize unconstrained = %d, %v; want 255, true", got, ok)
 	}
 	// Constant expression.
-	got, ok = s.Maximize(c8(13), nil, nil)
+	got, ok = s.Maximize(c8(13), Query{})
 	if !ok || got != 13 {
 		t.Fatalf("Maximize const = %d, %v; want 13, true", got, ok)
 	}
 	// Unsat path condition.
-	_, ok = s.Maximize(x, pc(sx.Ult(x, c8(0))), sx.Assignment{})
+	_, ok = s.Maximize(x, Query{PC: pc(sx.Ult(x, c8(0))), Base: sx.Assignment{}})
 	if ok {
 		t.Fatal("Maximize should fail on unsat pc")
 	}

@@ -53,10 +53,12 @@ type Config struct {
 	// determinism check groups them separately per package.
 	Shards int `json:"shards,omitempty"`
 	// SolverMode is the decision procedure behind the solver's cache layers
-	// ("oneshot" or "incremental"); empty means oneshot, keeping files from
-	// before the field existed valid. Incremental cells return different
-	// (equally valid) models than oneshot ones, so exploration legitimately
-	// diverges: the determinism check groups the two modes separately.
+	// ("oneshot", "incremental" or "bdd"); empty means oneshot, keeping
+	// files from before the field existed valid. Incremental cells return
+	// different (equally valid) models than oneshot ones, and bdd cells
+	// spend different (equally deterministic) virtual costs, so exploration
+	// legitimately diverges: the determinism check groups each mode
+	// separately.
 	SolverMode string `json:"solver_mode,omitempty"`
 	// Strategy names the state-selection strategy when a cell deviates from
 	// the matrix default (e.g. "dfs" for the deep-path cells that exercise
@@ -134,24 +136,44 @@ func (f *File) Validate() error {
 	type point struct{ tests, virt int64 }
 	first := map[string]point{}
 	firstName := map[string]string{}
+	names := map[string]bool{}
 	for i, c := range f.Configs {
 		if c.Name == "" || c.Package == "" {
 			return fmt.Errorf("config %d: missing name or package", i)
 		}
+		// Duplicate cells are a generator bug (a rerun appended instead of
+		// replacing): the trajectory would silently double-count the cell.
+		if names[c.Name] {
+			return fmt.Errorf("config %s: duplicate config cell", c.Name)
+		}
+		names[c.Name] = true
 		if c.Cache != "cold" && c.Cache != "warm" {
 			return fmt.Errorf("config %s: cache %q, want cold or warm", c.Name, c.Cache)
 		}
 		if c.Workers < 1 || c.Sessions < 1 {
 			return fmt.Errorf("config %s: workers=%d sessions=%d, want >= 1", c.Name, c.Workers, c.Sessions)
 		}
+		if c.Tests < 0 {
+			return fmt.Errorf("config %s: tests=%d, want >= 0", c.Name, c.Tests)
+		}
 		if c.VirtTime <= 0 {
 			return fmt.Errorf("config %s: virt_time=%d, want > 0", c.Name, c.VirtTime)
+		}
+		// Durations are int64 nanosecond/propagation counts, so NaN cannot
+		// survive decoding (encoding/json rejects non-numeric literals), but
+		// a corrupted or hand-edited file can still smuggle negatives in.
+		if c.WallNs < 0 {
+			return fmt.Errorf("config %s: wall_ns=%d, want >= 0", c.Name, c.WallNs)
 		}
 		var session *obs.SpanAggregate
 		for j := range c.Spans {
 			sp := &c.Spans[j]
 			if sp.Count <= 0 {
 				return fmt.Errorf("config %s: span %s: count=%d", c.Name, sp.Layer, sp.Count)
+			}
+			if sp.VirtTotal < 0 || sp.VirtSelf < 0 || sp.WallTotal < 0 || sp.WallSelf < 0 {
+				return fmt.Errorf("config %s: span %s: negative duration (virt %d/%d, wall %d/%d)",
+					c.Name, sp.Layer, sp.VirtSelf, sp.VirtTotal, sp.WallSelf, sp.WallTotal)
 			}
 			if sp.VirtSelf > sp.VirtTotal {
 				return fmt.Errorf("config %s: span %s: self %d > total %d", c.Name, sp.Layer, sp.VirtSelf, sp.VirtTotal)
@@ -173,8 +195,10 @@ func (f *File) Validate() error {
 					c.Name, c.VirtMakespan, c.VirtTime)
 			}
 		}
-		if c.SolverMode != "" && c.SolverMode != "oneshot" && c.SolverMode != "incremental" {
-			return fmt.Errorf("config %s: solver_mode %q, want oneshot or incremental", c.Name, c.SolverMode)
+		switch c.SolverMode {
+		case "", "oneshot", "incremental", "bdd":
+		default:
+			return fmt.Errorf("config %s: solver_mode %q, want oneshot, incremental or bdd", c.Name, c.SolverMode)
 		}
 		key := c.Package
 		if c.Shards > 0 {
@@ -187,16 +211,17 @@ func (f *File) Validate() error {
 		if c.SolverMode != "" {
 			key += "|" + c.SolverMode
 		}
-		if c.SolverMode == "incremental" {
-			// An incremental cell's models are a function of the context's
-			// whole query stream, and warmth changes the stream: a persist
-			// hit bypasses the backend, so the context sees fewer queries and
-			// later solves start from different assumption state. Only full
-			// warmth — every query replayed — reproduces the cold stream, and
-			// Unknown verdicts are never persisted, so partial warmth is
-			// inherent. Cold and warm incremental cells are therefore
-			// separate determinism groups; within each, shard counts must
-			// still agree exactly.
+		if c.SolverMode == "incremental" || c.SolverMode == "bdd" {
+			// A stateful backend's per-query costs (and, for incremental,
+			// models) are a function of the context's whole query stream,
+			// and warmth changes the stream: a persist hit bypasses the
+			// backend, so the context sees fewer queries and later solves
+			// start from different internal state (assumption trail, or the
+			// diagram's memo tables). Only full warmth — every query
+			// replayed — reproduces the cold stream, and Unknown verdicts
+			// are never persisted, so partial warmth is inherent. Cold and
+			// warm cells of these modes are therefore separate determinism
+			// groups; within each, shard counts must still agree exactly.
 			key += "|" + c.Cache
 		}
 		if c.Strategy != "" {

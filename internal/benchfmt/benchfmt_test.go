@@ -97,6 +97,55 @@ func TestValidateShardedMakespanBounds(t *testing.T) {
 	}
 }
 
+// TestBDDCellsGroupByWarmth: bdd cells form their own determinism groups,
+// split by cache warmth exactly like incremental ones (a persist hit changes
+// the backend's query stream, and with it the per-query diagram costs).
+func TestBDDCellsGroupByWarmth(t *testing.T) {
+	f := validFile()
+	f.Configs = append(f.Configs,
+		Config{
+			Name: "pkg/bdd/cold/w1", Package: "pkg", Language: "python",
+			Cache: "cold", Workers: 1, Sessions: 2, SolverMode: "bdd",
+			Tests: 20, VirtTime: 900, WallNs: 5,
+		},
+		Config{
+			Name: "pkg/bdd/warm/w1", Package: "pkg", Language: "python",
+			Cache: "warm", Workers: 1, Sessions: 2, SolverMode: "bdd",
+			Tests: 20, VirtTime: 905, WallNs: 5,
+		},
+		Config{
+			Name: "pkg/bdd/warm/w4", Package: "pkg", Language: "python",
+			Cache: "warm", Workers: 4, Sessions: 2, SolverMode: "bdd",
+			Tests: 20, VirtTime: 905, WallNs: 5,
+		},
+	)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("bdd cells split by warmth failed validation: %v", err)
+	}
+	f.Configs[len(f.Configs)-1].VirtTime = 906
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "determinism violation") {
+		t.Fatalf("err = %v, want determinism violation between same-warmth bdd cells", err)
+	}
+}
+
+// TestParseRejectsNaNDurations documents why Validate only guards against
+// negative durations: every duration field is an int64, and encoding/json
+// refuses non-numeric literals outright, so a NaN cannot reach Validate.
+func TestParseRejectsNaNDurations(t *testing.T) {
+	f := validFile()
+	data, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(data), `"wall_ns": 5`, `"wall_ns": NaN`, 1)
+	if bad == string(data) {
+		t.Fatal("test did not find a wall_ns field to corrupt")
+	}
+	if _, err := Parse([]byte(bad)); err == nil {
+		t.Fatal("NaN duration passed Parse")
+	}
+}
+
 func TestValidateRejects(t *testing.T) {
 	cases := []struct {
 		name string
@@ -117,6 +166,16 @@ func TestValidateRejects(t *testing.T) {
 		{"session span", func(f *File) {
 			f.Configs[0].Spans = []obs.SpanAggregate{{Layer: obs.SpanChefSession, Count: 1, VirtTotal: 7}}
 		}, "virt_time"},
+		{"solver mode", func(f *File) { f.Configs[0].SolverMode = "quantum" }, "solver_mode"},
+		{"negative wall", func(f *File) { f.Configs[0].WallNs = -1 }, "wall_ns"},
+		{"negative tests", func(f *File) { f.Configs[0].Tests = -5 }, "tests"},
+		{"negative span wall", func(f *File) {
+			f.Configs[0].Spans = []obs.SpanAggregate{{Layer: "x", Count: 1, VirtTotal: 1, WallTotal: -3}}
+		}, "negative duration"},
+		{"negative span virt", func(f *File) {
+			f.Configs[0].Spans = []obs.SpanAggregate{{Layer: "x", Count: 1, VirtTotal: -1, VirtSelf: -1}}
+		}, "negative duration"},
+		{"duplicate cell", func(f *File) { f.Configs[1] = f.Configs[0] }, "duplicate"},
 	}
 	for _, tc := range cases {
 		f := validFile()

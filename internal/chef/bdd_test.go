@@ -1,0 +1,143 @@
+package chef
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"chef/internal/lowlevel"
+	"chef/internal/solver"
+	"chef/internal/symexpr"
+)
+
+// Chef-level properties of -solvermode=bdd. The email fixture's branch
+// conditions are equalities between one input byte and one constant — exactly
+// the liftable boolean skeletons the diagram decides without ever reaching
+// the CDCL core — while flagCollisionProg below forces the opaque-atom
+// fallback. Together they pin the two contracts the backend documents:
+// bdd exploration is byte-identical across repeats and shard counts, and on
+// streams the diagram cannot decide it degrades to the oneshot backend's
+// exact verdicts and models.
+
+func bddOpts(seed int64) Options {
+	return Options{
+		Strategy:      StrategyCUPAPath,
+		Seed:          seed,
+		SolverOptions: solver.Options{SolverMode: solver.ModeBDD},
+	}
+}
+
+// sessionFingerprint renders everything semantically observable about a
+// plain session run into one comparable string.
+func sessionFingerprint(s *Session, tests []TestCase) string {
+	return fmt.Sprintf("tests=%#v\nstats=%+v\npaths=%d\nsolver=%+v",
+		tests, s.Engine().Stats(), s.HLPathCount(), s.Engine().Solver().Stats())
+}
+
+// TestBDDSessionDeterministicAndDecisive: two identical bdd-mode runs are
+// byte-identical, find both fixture outcomes, and the diagram actually
+// decides the queries — no CDCL fallback fires on the pure eq-const stream.
+func TestBDDSessionDeterministicAndDecisive(t *testing.T) {
+	run := func() (string, solver.Stats) {
+		s := NewSession(validateEmailProg(6), bddOpts(42))
+		tests := s.Run(1 << 22)
+		results := map[string]bool{}
+		for _, tc := range tests {
+			results[tc.Result] = true
+		}
+		if !results["ok"] || !results["exception:InvalidEmailError"] {
+			t.Fatalf("outcomes %v, want both ok and exception", results)
+		}
+		return sessionFingerprint(s, tests), s.Engine().Solver().Stats()
+	}
+	a, aStats := run()
+	b, _ := run()
+	if a != b {
+		t.Fatalf("identical bdd runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if aStats.BDDNodes == 0 {
+		t.Fatalf("bdd mode never built a diagram node: %+v", aStats)
+	}
+	if aStats.BDDFallbacks != 0 {
+		t.Fatalf("pure eq-const stream fell back to CDCL %d times: %+v", aStats.BDDFallbacks, aStats)
+	}
+}
+
+// TestBDDShardedByteIdenticalAcrossWorkers extends the core sharding
+// property to bdd mode: worker count is scheduling, not semantics, so the
+// full fingerprint — tests, stats, virtual clock, merged solver counters —
+// must match serial for 2 and 4 workers.
+func TestBDDShardedByteIdenticalAcrossWorkers(t *testing.T) {
+	serial := fingerprint(runSharded(t, validateEmailProg(6), bddOpts(42), 1, shardFixtureBudget))
+	for _, workers := range []int{2, 4} {
+		got := fingerprint(runSharded(t, validateEmailProg(6), bddOpts(42), workers, shardFixtureBudget))
+		if got != serial {
+			t.Fatalf("%d-worker bdd run diverged from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				workers, serial, workers, got)
+		}
+	}
+}
+
+// flagCollisionProg branches on arithmetic over two input bytes (a sum
+// compared against constants), producing opaque theory atoms the BDD cannot
+// lift — every satisfiable query must take the CDCL fallback.
+func flagCollisionProg(ctx *Ctx) {
+	in := ctx.GetString("in", 2, "")
+	sum := lowlevel.AddV(in[0], in[1])
+	ctx.LogPC(100, 1)
+	if ctx.M.Branch(1000, lowlevel.UltV(sum, lowlevel.ConcreteVal(10, symexpr.W8))) {
+		ctx.LogPC(200, 1)
+		if ctx.M.Branch(1001, lowlevel.EqV(lowlevel.MulV(in[0], in[1]), lowlevel.ConcreteVal(8, symexpr.W8))) {
+			ctx.LogPC(300, 3)
+			ctx.SetResult("product")
+			return
+		}
+		ctx.LogPC(400, 3)
+		ctx.SetResult("small")
+		return
+	}
+	ctx.LogPC(500, 3)
+	ctx.SetResult("large")
+}
+
+// TestBDDFallbackTransparentAtChefLevel: on an arithmetic guest whose atoms
+// are all opaque, bdd mode must reproduce the oneshot backend's exploration
+// exactly — same test inputs, signatures, results and path count — because
+// the fallback blasts each query in the same canonical order the oneshot
+// backend would. Only solver costs (the diagram steps spent before falling
+// back) may differ, which surfaces solely through virtual timestamps, so
+// VirtTime is normalized out of the comparison.
+func TestBDDFallbackTransparentAtChefLevel(t *testing.T) {
+	run := func(mode solver.SolverMode) ([]TestCase, int, solver.Stats) {
+		opts := Options{
+			Strategy:      StrategyCUPAPath,
+			Seed:          7,
+			SolverOptions: solver.Options{SolverMode: mode},
+		}
+		s := NewSession(flagCollisionProg, opts)
+		tests := s.Run(1 << 22)
+		for i := range tests {
+			tests[i].VirtTime = 0
+		}
+		return tests, s.HLPathCount(), s.Engine().Solver().Stats()
+	}
+	oneTests, onePaths, _ := run(solver.ModeOneshot)
+	bddTests, bddPaths, bddStats := run(solver.ModeBDD)
+	if !reflect.DeepEqual(oneTests, bddTests) {
+		t.Fatalf("bdd fallback produced different tests than oneshot:\n--- oneshot ---\n%#v\n--- bdd ---\n%#v",
+			oneTests, bddTests)
+	}
+	if onePaths != bddPaths {
+		t.Fatalf("path counts diverged: oneshot=%d bdd=%d", onePaths, bddPaths)
+	}
+	if bddStats.BDDFallbacks == 0 {
+		t.Fatalf("arithmetic guest never exercised the CDCL fallback: %+v", bddStats)
+	}
+	results := map[string]bool{}
+	for _, tc := range bddTests {
+		results[tc.Result] = true
+	}
+	if len(results) < 2 {
+		t.Fatalf("fixture outcomes %v, want at least 2 distinct", results)
+	}
+}

@@ -11,6 +11,7 @@
 package cupa
 
 import (
+	"fmt"
 	"math/rand"
 
 	"chef/internal/lowlevel"
@@ -56,7 +57,24 @@ func newNode() *node { return &node{children: map[uint64]*node{}} }
 
 // New builds a CUPA strategy with the given levels. stateWeight may be nil
 // for uniform leaf selection.
+//
+// New panics when rng is nil, levels is empty, or any level has a nil Key.
+// Each of those would otherwise surface only deep into exploration — a nil
+// dereference at the first multi-state Select or Add, or a silently
+// degenerate flat queue — far from the constructor that caused it, so the
+// misuse is rejected where it happens.
 func New(rng *rand.Rand, levels []Level, stateWeight func(*lowlevel.State) float64) *Strategy {
+	if rng == nil {
+		panic("cupa: New requires a non-nil rng")
+	}
+	if len(levels) == 0 {
+		panic("cupa: New requires at least one level")
+	}
+	for i, lvl := range levels {
+		if lvl.Key == nil {
+			panic(fmt.Sprintf("cupa: New level %d has a nil Key", i))
+		}
+	}
 	return &Strategy{levels: levels, stateWeight: stateWeight, rng: rng, root: newNode()}
 }
 

@@ -185,3 +185,28 @@ func TestSingleClassFastPath(t *testing.T) {
 		t.Fatalf("got %v, want the single state", got)
 	}
 }
+
+// TestNewRejectsMisuse pins New's documented construction-time panics: a nil
+// rng, an empty level list, and a nil level Key would each otherwise only
+// crash (or silently degrade) at the first Select, far from the call site.
+func TestNewRejectsMisuse(t *testing.T) {
+	levels := []Level{{Key: func(s *lowlevel.State) uint64 { return s.DynHLPC }}}
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"nil rng", func() { New(nil, levels, nil) }},
+		{"empty levels", func() { New(rand.New(rand.NewSource(1)), nil, nil) }},
+		{"nil key", func() { New(rand.New(rand.NewSource(1)), []Level{{}}, nil) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", tc.name)
+				}
+			}()
+			tc.call()
+		}()
+	}
+}

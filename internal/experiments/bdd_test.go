@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"chef/internal/packages"
+	"chef/internal/solver"
+)
+
+// TestRunPackageBDDShardedDeterminism extends the harness-level sharding
+// property to -solvermode=bdd on both interpreters: a bdd-mode RunResult —
+// tests, low-level paths, coverage, series, virtual time, solver traffic —
+// is identical whether the range cells are driven by 1 or 4 epoch workers.
+// The real-package constraint streams mix liftable boolean skeletons with
+// arithmetic fallbacks, so this exercises both diagram decisions and the
+// CDCL fallback under sharded scheduling.
+func TestRunPackageBDDShardedDeterminism(t *testing.T) {
+	cfg := FourConfigurations(true)[3]
+	for _, name := range []string{"simplejson", "JSON"} {
+		p, ok := packages.ByName(name)
+		if !ok {
+			t.Fatalf("package %q missing", name)
+		}
+		run := func(shards int) RunResult {
+			b := QuickBudgets()
+			b.Time = 300_000
+			b.Shards = shards
+			b.SolverMode = solver.ModeBDD
+			return RunPackage(p, cfg, b, 42)
+		}
+		serial := run(1)
+		if serial.HLTests == 0 {
+			t.Fatalf("%s: bdd sharded run found no tests; comparison is vacuous", name)
+		}
+		multi := run(4)
+		if !reflect.DeepEqual(serial, multi) {
+			t.Fatalf("%s: bdd sharded run diverged between 1 and 4 workers:\nserial %+v\nmulti  %+v",
+				name, serial, multi)
+		}
+	}
+}

@@ -74,7 +74,7 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 // handleSubmit accepts a job. The tenant is the X-API-Key header ("" is the
 // anonymous tenant). Responses: 202 accepted, 400 invalid spec, 429 queue
-// full (with Retry-After), 503 draining.
+// full, 503 draining (both with Retry-After).
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
@@ -95,6 +95,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				w.Header().Set("Retry-After", strconv.Itoa(s.opts.RetryAfterSeconds))
 				writeError(w, http.StatusTooManyRequests, "%v", se.Err)
 			default:
+				// Draining: the process is going away, but a peer (or this
+				// one, restarted) will take submissions again — give clients
+				// the same backoff hint the 429 path sets.
+				w.Header().Set("Retry-After", strconv.Itoa(s.opts.RetryAfterSeconds))
 				writeError(w, http.StatusServiceUnavailable, "%v", se.Err)
 			}
 			return

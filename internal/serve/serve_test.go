@@ -392,6 +392,12 @@ func TestDrainFinishesInFlight(t *testing.T) {
 	for {
 		resp, _ := s.do(t, "POST", "/v1/jobs", "", quickSpec(9))
 		if resp.StatusCode == http.StatusServiceUnavailable {
+			// The drain rejection must carry the same backoff hint the 429
+			// path sets; a client with no Retry-After has no idea when (or
+			// whether) to come back.
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Fatal("503-while-draining response has no Retry-After header")
+			}
 			break
 		}
 		if time.Now().After(deadline) {

@@ -1,0 +1,583 @@
+package solver
+
+import (
+	"math"
+	"sort"
+
+	"chef/internal/symexpr"
+)
+
+// The BDD fast path (-solvermode=bdd): a reduced-ordered binary decision
+// diagram over the *boolean skeleton* of the path condition, with the
+// bit-blasting CDCL core as a transparent fallback for arithmetic-bearing
+// queries.
+//
+// Each width-1 constraint decomposes into propositional connectives over
+// atoms (see symexpr.IsBoolConnective): boolean input variables and opaque
+// theory predicates like comparisons over wider bit-vectors. Every distinct
+// atom becomes one diagram variable, so conjoining the skeletons of a path
+// condition yields a canonical diagram of its propositional abstraction.
+// That abstraction is sound in one direction — a skeleton that reduces to
+// the False terminal is unsatisfiable under any interpretation of its atoms
+// — which is exactly the fail-fast the branch-heavy, arithmetic-light
+// constraint streams of MiniLua/MiniPy truthiness code want: most negated
+// re-tests of an already-constrained flag die in a handful of memoized
+// diagram steps instead of a fresh CNF blast.
+//
+// The Sat direction needs the atoms themselves to be invertible. A query is
+// *liftable* when every atom is either a boolean input variable or an
+// equality between one input variable and a constant, and no input variable
+// is shared by two distinct atoms: then any propositional model of the
+// skeleton lifts to a theory model by direct substitution (a variable not
+// mentioned by an atom cannot contradict it). Everything else — a
+// satisfiable skeleton over opaque or entangled atoms — falls back to the
+// CDCL path, which blasts the query in canonical constraint order so the
+// fallback's result and model are byte-for-byte what the oneshot backend
+// would have produced for the same query.
+//
+// Determinism: the variable order is the interner's process-independent
+// symexpr.Compare total order over atoms, and a reduced ordered BDD is
+// canonical given that order, so verdicts and lifted models are a pure
+// function of the query — stronger than the incremental backend, whose
+// models depend on the whole stream. Costs (diagram steps) do depend on the
+// stream through the memo tables and prefix reuse, so bdd cells form their
+// own determinism groups exactly like incremental ones (see benchfmt).
+
+// bddRef is an index into a bddManager's node table. The terminals are
+// pinned at indices 0 (False) and 1 (True).
+type bddRef int32
+
+const (
+	bddFalseRef bddRef = 0
+	bddTrueRef  bddRef = 1
+)
+
+// bddNode is one decision node: if var(level) then hi else lo. Terminals
+// carry level math.MaxInt32 so the top-variable computation in ite never
+// picks them.
+type bddNode struct {
+	level  int32
+	lo, hi bddRef
+}
+
+type bddIteKey struct{ f, g, h bddRef }
+
+// Growth bounds. The node cap recycles the per-cell diagram between queries
+// (mirroring the incremental backend's clause/variable caps); the step cap
+// bounds a single query's diagram work — a blowup aborts the diagram and
+// falls back to CDCL rather than hanging. Both are deterministic functions
+// of the query stream.
+const (
+	maxBDDNodes    = 1 << 20
+	bddStepCapPerQ = 1 << 21
+)
+
+// bddManager owns the hash-consed node table, the ite memo cache and the
+// variable order of one diagram epoch. All bookkeeping counters accumulate
+// across the manager's lifetime; callers read deltas.
+type bddManager struct {
+	nodes  []bddNode
+	unique map[bddNode]bddRef
+	memo   map[bddIteKey]bddRef
+	// vars is the diagram's variable order: every atom ever conjoined, kept
+	// sorted by symexpr.Compare; level[a] is a's index in vars.
+	vars  []*symexpr.Expr
+	level map[*symexpr.Expr]int32
+	// fcache memoizes skeleton translation per diagram epoch (cleared on
+	// reorder rebuilds, when old refs go stale).
+	fcache map[*symexpr.Expr]bddRef
+
+	steps   int64 // ite calls, the diagram's cost unit
+	hits    int64 // ite memo-cache hits
+	created int64 // unique decision nodes created
+	stepCap int64 // abort threshold for steps (checked per query by caller)
+	overrun bool  // steps crossed stepCap; results are junk until reset
+}
+
+func newBDDManager() *bddManager {
+	m := &bddManager{
+		unique: map[bddNode]bddRef{},
+		memo:   map[bddIteKey]bddRef{},
+		level:  map[*symexpr.Expr]int32{},
+		fcache: map[*symexpr.Expr]bddRef{},
+	}
+	m.nodes = append(m.nodes,
+		bddNode{level: math.MaxInt32}, // False
+		bddNode{level: math.MaxInt32}, // True
+	)
+	return m
+}
+
+// mk returns the canonical node (level, lo, hi), reusing an existing one.
+func (m *bddManager) mk(level int32, lo, hi bddRef) bddRef {
+	if lo == hi {
+		return lo
+	}
+	n := bddNode{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[n]; ok {
+		return r
+	}
+	r := bddRef(len(m.nodes))
+	m.nodes = append(m.nodes, n)
+	m.unique[n] = r
+	m.created++
+	return r
+}
+
+// cofactor returns f's (lo, hi) cofactors with respect to the variable at
+// top; f is unchanged if its own level is deeper.
+func (m *bddManager) cofactor(f bddRef, top int32) (bddRef, bddRef) {
+	n := m.nodes[f]
+	if n.level != top {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+// ite computes if-then-else(f, g, h), the universal connective every boolean
+// operation reduces to. Each call costs one step; crossing the step cap
+// flips overrun, after which results are garbage and never memoized — the
+// caller must discard the diagram.
+func (m *bddManager) ite(f, g, h bddRef) bddRef {
+	m.steps++
+	if m.steps > m.stepCap {
+		m.overrun = true
+	}
+	if m.overrun {
+		return bddFalseRef
+	}
+	switch {
+	case f == bddTrueRef:
+		return g
+	case f == bddFalseRef:
+		return h
+	case g == h:
+		return g
+	case g == bddTrueRef && h == bddFalseRef:
+		return f
+	}
+	key := bddIteKey{f, g, h}
+	if r, ok := m.memo[key]; ok {
+		m.hits++
+		return r
+	}
+	top := m.nodes[f].level
+	if l := m.nodes[g].level; l < top {
+		top = l
+	}
+	if l := m.nodes[h].level; l < top {
+		top = l
+	}
+	f0, f1 := m.cofactor(f, top)
+	g0, g1 := m.cofactor(g, top)
+	h0, h1 := m.cofactor(h, top)
+	lo := m.ite(f0, g0, h0)
+	hi := m.ite(f1, g1, h1)
+	if m.overrun {
+		return bddFalseRef
+	}
+	r := m.mk(top, lo, hi)
+	m.memo[key] = r
+	return r
+}
+
+func (m *bddManager) and(f, g bddRef) bddRef { return m.ite(f, g, bddFalseRef) }
+func (m *bddManager) not(f bddRef) bddRef    { return m.ite(f, bddFalseRef, bddTrueRef) }
+
+// build translates the boolean skeleton of the width-1 expression e into a
+// diagram, treating non-connective subexpressions as opaque variables. Every
+// atom of e must already have a level (see bddContext.admit).
+func (m *bddManager) build(e *symexpr.Expr) bddRef {
+	if e.IsConst() {
+		if e.ConstVal() == 0 {
+			return bddFalseRef
+		}
+		return bddTrueRef
+	}
+	if r, ok := m.fcache[e]; ok {
+		return r
+	}
+	var r bddRef
+	if !symexpr.IsBoolConnective(e) {
+		r = m.mk(m.level[e], bddFalseRef, bddTrueRef)
+	} else {
+		switch e.Op() {
+		case symexpr.OpNot:
+			r = m.not(m.build(e.Child(0)))
+		case symexpr.OpAnd:
+			r = m.ite(m.build(e.Child(0)), m.build(e.Child(1)), bddFalseRef)
+		case symexpr.OpOr:
+			r = m.ite(m.build(e.Child(0)), bddTrueRef, m.build(e.Child(1)))
+		case symexpr.OpXor:
+			g := m.build(e.Child(1))
+			r = m.ite(m.build(e.Child(0)), m.not(g), g)
+		case symexpr.OpEq: // width-1 iff
+			g := m.build(e.Child(1))
+			r = m.ite(m.build(e.Child(0)), g, m.not(g))
+		case symexpr.OpIte:
+			r = m.ite(m.build(e.Child(0)), m.build(e.Child(1)), m.build(e.Child(2)))
+		}
+	}
+	if m.overrun {
+		return bddFalseRef
+	}
+	m.fcache[e] = r
+	return r
+}
+
+// Atom classification for the Sat lift.
+const (
+	bddAtomOpaque uint8 = iota
+	bddAtomBoolVar
+	bddAtomEqConst
+)
+
+type bddAtomClass struct {
+	kind uint8
+	v    symexpr.Var // for bddAtomBoolVar / bddAtomEqConst
+	k    uint64      // for bddAtomEqConst: the compared constant
+}
+
+func classifyBDDAtom(e *symexpr.Expr) bddAtomClass {
+	if e.IsVar() {
+		return bddAtomClass{kind: bddAtomBoolVar, v: e.VarRef()}
+	}
+	if e.Op() == symexpr.OpEq {
+		a, b := e.Child(0), e.Child(1)
+		if a.IsVar() && b.IsConst() {
+			return bddAtomClass{kind: bddAtomEqConst, v: a.VarRef(), k: b.ConstVal()}
+		}
+		if b.IsVar() && a.IsConst() {
+			return bddAtomClass{kind: bddAtomEqConst, v: b.VarRef(), k: a.ConstVal()}
+		}
+	}
+	return bddAtomClass{kind: bddAtomOpaque}
+}
+
+// lift turns a truth assignment of this atom into values for its variable.
+// Only meaningful for non-opaque atoms.
+func (a bddAtomClass) lift(truth bool, into symexpr.Assignment) {
+	switch a.kind {
+	case bddAtomBoolVar:
+		if truth {
+			into[a.v] = 1
+		} else {
+			into[a.v] = 0
+		}
+	case bddAtomEqConst:
+		if truth {
+			into[a.v] = a.k & a.v.W.Mask()
+		} else {
+			into[a.v] = (a.k + 1) & a.v.W.Mask()
+		}
+	}
+}
+
+// bddContext is the per-solver diagram state, the analogue of the
+// incremental backend's Context: the established constraint order (path
+// order, root first) and the running conjunction root after each prefix.
+type bddContext struct {
+	m     *bddManager
+	order []*symexpr.Expr
+	roots []bddRef
+}
+
+func newBDDContext() *bddContext {
+	return &bddContext{m: newBDDManager()}
+}
+
+// lcp returns the longest common prefix of the established order and pc, by
+// pointer identity.
+func (c *bddContext) lcp(pc []*symexpr.Expr) int {
+	n := 0
+	for n < len(c.order) && n < len(pc) && c.order[n] == pc[n] {
+		n++
+	}
+	return n
+}
+
+// admit merges the atoms of the given constraints into the variable order.
+// Atoms that sort after every existing variable extend the order in place;
+// an insertion anywhere else invalidates every node's level, so the whole
+// diagram is rebuilt under the new order (reported so the backend can count
+// it). The order itself — sorted by symexpr.Compare — never depends on
+// arrival order, which is what keeps diagrams (and therefore models)
+// canonical per query.
+func (c *bddContext) admit(atoms []*symexpr.Expr) (rebuilt bool) {
+	m := c.m
+	var fresh []*symexpr.Expr
+	for _, a := range atoms {
+		if _, ok := m.level[a]; !ok {
+			fresh = append(fresh, a)
+			m.level[a] = -1 // reserve; fixed below
+		}
+	}
+	if len(fresh) == 0 {
+		return false
+	}
+	sort.Slice(fresh, func(i, j int) bool { return symexpr.Compare(fresh[i], fresh[j]) < 0 })
+	appendOnly := len(m.vars) == 0 ||
+		symexpr.Compare(fresh[0], m.vars[len(m.vars)-1]) > 0
+	m.vars = append(m.vars, fresh...)
+	if !appendOnly {
+		sort.Slice(m.vars, func(i, j int) bool { return symexpr.Compare(m.vars[i], m.vars[j]) < 0 })
+	}
+	for i, a := range m.vars {
+		m.level[a] = int32(i)
+	}
+	if appendOnly {
+		return false
+	}
+	// Reorder: existing nodes carry stale levels. Reset the tables and
+	// re-conjoin the established order under the new level map.
+	m.nodes = m.nodes[:2]
+	m.unique = map[bddNode]bddRef{}
+	m.memo = map[bddIteKey]bddRef{}
+	m.fcache = map[*symexpr.Expr]bddRef{}
+	c.roots = c.roots[:0]
+	root := bddTrueRef
+	for _, e := range c.order {
+		root = m.and(root, m.build(e))
+		c.roots = append(c.roots, root)
+	}
+	return true
+}
+
+// extend conjoins pc's suffix past the longest established prefix, reusing
+// the prefix roots, and returns the conjunction root for the whole query.
+func (c *bddContext) extend(pc []*symexpr.Expr) bddRef {
+	n := c.lcp(pc)
+	c.order = append(c.order[:n], pc[n:]...)
+	c.roots = c.roots[:n]
+	root := bddTrueRef
+	if n > 0 {
+		root = c.roots[n-1]
+	}
+	for _, e := range pc[n:] {
+		root = c.m.and(root, c.m.build(e))
+		c.roots = append(c.roots, root)
+	}
+	return root
+}
+
+// model extracts one satisfying assignment from a non-False root: walk to
+// the True terminal preferring the low branch, recording each decision
+// variable's truth, then default every unvisited atom of the query to false.
+// The walk is canonical (a pure function of the diagram, which is canonical
+// per query), so models never depend on the stream.
+func (c *bddContext) model(root bddRef, atoms []*symexpr.Expr,
+	class map[*symexpr.Expr]bddAtomClass) symexpr.Assignment {
+	truth := map[int32]bool{}
+	for r := root; r != bddTrueRef; {
+		n := c.m.nodes[r]
+		if n.lo != bddFalseRef {
+			truth[n.level] = false
+			r = n.lo
+		} else {
+			truth[n.level] = true
+			r = n.hi
+		}
+	}
+	out := symexpr.Assignment{}
+	for _, a := range atoms {
+		t := truth[c.m.level[a]] // default false when not on the walk
+		class[a].lift(t, out)
+	}
+	return out
+}
+
+// bddBackend implements Backend. It owns one live bddContext (recycled at
+// the node cap) plus stream-independent classification caches keyed by
+// hash-consed constraint pointers.
+type bddBackend struct {
+	s   *Solver
+	ctx *bddContext
+
+	// conAtoms caches each constraint's deduplicated atom list (first-seen
+	// syntactic order); conLift caches whether all its atoms are liftable.
+	conAtoms map[*symexpr.Expr][]*symexpr.Expr
+	conLift  map[*symexpr.Expr]bool
+	class    map[*symexpr.Expr]bddAtomClass
+
+	// Test hooks; zero means the package defaults.
+	maxNodes int
+	stepCap  int64
+}
+
+func newBDDBackend(s *Solver) *bddBackend {
+	return &bddBackend{
+		s:        s,
+		conAtoms: map[*symexpr.Expr][]*symexpr.Expr{},
+		conLift:  map[*symexpr.Expr]bool{},
+		class:    map[*symexpr.Expr]bddAtomClass{},
+	}
+}
+
+func (b *bddBackend) Mode() SolverMode { return ModeBDD }
+
+func (b *bddBackend) nodeCap() int {
+	if b.maxNodes > 0 {
+		return b.maxNodes
+	}
+	return maxBDDNodes
+}
+
+func (b *bddBackend) queryStepCap() int64 {
+	if b.stepCap > 0 {
+		return b.stepCap
+	}
+	return bddStepCapPerQ
+}
+
+// atomsOf returns the constraint's deduplicated atoms, classifying new ones.
+func (b *bddBackend) atomsOf(e *symexpr.Expr) ([]*symexpr.Expr, bool) {
+	if atoms, ok := b.conAtoms[e]; ok {
+		return atoms, b.conLift[e]
+	}
+	seen := map[*symexpr.Expr]bool{}
+	var atoms []*symexpr.Expr
+	lift := true
+	symexpr.WalkBoolAtoms(e, func(a *symexpr.Expr) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		atoms = append(atoms, a)
+		cl, ok := b.class[a]
+		if !ok {
+			cl = classifyBDDAtom(a)
+			b.class[a] = cl
+		}
+		if cl.kind == bddAtomOpaque {
+			lift = false
+		}
+	})
+	b.conAtoms[e] = atoms
+	b.conLift[e] = lift
+	return atoms, lift
+}
+
+// ensure makes b.ctx live, recycling it past the node cap. It mirrors the
+// incremental backend's ensure; recycles count as rebuilds.
+func (b *bddBackend) ensure() {
+	if b.ctx != nil && len(b.ctx.m.nodes) <= b.nodeCap() {
+		return
+	}
+	if b.ctx != nil {
+		b.s.stats.BDDRebuilds++
+		if b.s.mBDDRebuilds != nil {
+			b.s.mBDDRebuilds.Inc()
+		}
+	}
+	b.ctx = newBDDContext()
+}
+
+// discard drops the live diagram (after a step-cap overrun, whose node table
+// may hold junk) so the next query starts fresh.
+func (b *bddBackend) discard() {
+	b.s.stats.BDDRebuilds++
+	if b.s.mBDDRebuilds != nil {
+		b.s.mBDDRebuilds.Inc()
+	}
+	b.ctx = nil
+}
+
+// fallback blasts the query on the CDCL path. The constraints are sorted
+// into canonical order first, so the fallback's verdict, model and CDCL cost
+// are exactly the oneshot backend's for the same query — bdd mode degrades
+// to byte-equivalent oneshot behavior on streams its diagram cannot decide.
+func (b *bddBackend) fallback(pc []*symexpr.Expr, budget int64) (Result, symexpr.Assignment, Cost) {
+	b.s.stats.BDDFallbacks++
+	if b.s.mBDDFallbacks != nil {
+		b.s.mBDDFallbacks.Inc()
+	}
+	canon := canonicalize(append([]*symexpr.Expr(nil), pc...))
+	return oneshotBackend{}.Solve(canon, budget)
+}
+
+// Solve decides pc (path order, root first — the prefix reuse keys off it).
+func (b *bddBackend) Solve(pc []*symexpr.Expr, budget int64) (Result, symexpr.Assignment, Cost) {
+	b.ensure()
+	m := b.ctx.m
+	steps0, hits0, created0 := m.steps, m.hits, m.created
+	// A query's diagram work is bounded by the step cap and by the caller's
+	// propagation budget: bdd mode must exhaust a starved budget with an
+	// Unknown exactly like the CDCL backends do (the overrun path below
+	// falls back to CDCL, which then overruns too).
+	qcap := b.queryStepCap()
+	if budget < qcap {
+		qcap = budget
+	}
+	m.stepCap = m.steps + qcap
+
+	// Classify the query: collect every constraint's atoms (admitting them
+	// to the variable order) and whether the whole query lifts.
+	liftable := true
+	varOwner := map[symexpr.Var]*symexpr.Expr{}
+	var atoms []*symexpr.Expr
+	seen := map[*symexpr.Expr]bool{}
+	for _, e := range pc {
+		ca, lift := b.atomsOf(e)
+		if !lift {
+			liftable = false
+		}
+		for _, a := range ca {
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			atoms = append(atoms, a)
+		}
+	}
+	if liftable {
+		// Distinct atoms sharing a variable (x==1 vs x==2) can be
+		// propositionally independent but theory-entangled; the lift is
+		// only sound when every variable belongs to exactly one atom.
+		for _, a := range atoms {
+			cl := b.class[a]
+			if owner, ok := varOwner[cl.v]; ok && owner != a {
+				liftable = false
+				break
+			}
+			varOwner[cl.v] = a
+		}
+	}
+
+	if rebuilt := b.ctx.admit(atoms); rebuilt {
+		b.s.stats.BDDReorders++
+		if b.s.mBDDReorders != nil {
+			b.s.mBDDReorders.Inc()
+		}
+	}
+	root := b.ctx.extend(pc)
+
+	cost := Cost{Propagations: m.steps - steps0}
+	b.s.stats.BDDApplyHits += m.hits - hits0
+	b.s.stats.BDDNodes += m.created - created0
+	if b.s.mBDDApplyHits != nil {
+		b.s.mBDDApplyHits.Add(m.hits - hits0)
+		b.s.mBDDNodes.Add(m.created - created0)
+	}
+	if m.overrun {
+		// Diagram blowup: drop it and let CDCL decide this query. The
+		// steps spent are part of the query's deterministic cost.
+		b.discard()
+		r, model, fcost := b.fallback(pc, budget)
+		fcost.Propagations += cost.Propagations
+		return r, model, fcost
+	}
+	if root == bddFalseRef {
+		// Propositionally unsatisfiable, hence unsatisfiable: the fail-fast
+		// that pays for the diagram. Sound for opaque atoms too.
+		return Unsat, nil, cost
+	}
+	if liftable {
+		model := b.ctx.model(root, atoms, b.class)
+		return Sat, model, cost
+	}
+	// Satisfiable skeleton but atoms the lift cannot invert: the diagram
+	// stays (its prefix keeps serving later queries) and CDCL decides.
+	r, model, fcost := b.fallback(pc, budget)
+	fcost.Propagations += cost.Propagations
+	return r, model, fcost
+}

@@ -42,6 +42,11 @@ type Context struct {
 	// unsatisfiability (cannot happen for Tseitin-consistent input; kept as
 	// a defensive rebuild trigger).
 	poisoned bool
+
+	// Growth caps, defaulted from the package constants; regression tests
+	// shrink them to force mid-stream rebuilds on small workloads.
+	maxLearned int
+	maxVars    int32
 }
 
 // Context growth caps: past either, the backend discards the context and
@@ -62,10 +67,12 @@ func newContext() *Context {
 	sat := newSatSolver()
 	sat.coneRestrict = true
 	c := &Context{
-		sat:       sat,
-		bl:        newBlaster(sat),
-		assump:    map[*symexpr.Expr]Lit{},
-		nodeStamp: map[*symexpr.Expr]int64{},
+		sat:        sat,
+		bl:         newBlaster(sat),
+		assump:     map[*symexpr.Expr]Lit{},
+		nodeStamp:  map[*symexpr.Expr]int64{},
+		maxLearned: maxIncLearned,
+		maxVars:    maxIncVars,
 	}
 	// Activation scoping lets the expression memo stay shared across
 	// constraints while keeping dormant circuitry propagation-inert; see
@@ -77,7 +84,7 @@ func newContext() *Context {
 
 // overLimit reports whether the context hit a growth cap.
 func (c *Context) overLimit() bool {
-	return len(c.sat.learned) > maxIncLearned || c.sat.numVars > maxIncVars
+	return len(c.sat.learned) > c.maxLearned || c.sat.numVars > c.maxVars
 }
 
 // lcp returns the length of the longest common prefix of the established
@@ -257,6 +264,12 @@ func (c *Context) extractModel(pc []*symexpr.Expr) symexpr.Assignment {
 type incrementalBackend struct {
 	s   *Solver
 	ctx *Context
+
+	// Test hooks: when > 0, every context built by ensure gets these growth
+	// caps instead of the package defaults, so regression tests can force a
+	// mid-stream rebuild on a small workload.
+	maxLearned int
+	maxVars    int32
 }
 
 func (b *incrementalBackend) Mode() SolverMode { return ModeIncremental }
@@ -274,6 +287,12 @@ func (b *incrementalBackend) ensure() bool {
 		}
 	}
 	b.ctx = newContext()
+	if b.maxLearned > 0 {
+		b.ctx.maxLearned = b.maxLearned
+	}
+	if b.maxVars > 0 {
+		b.ctx.maxVars = b.maxVars
+	}
 	b.s.stats.IncContexts++
 	if b.s.mIncContexts != nil {
 		b.s.mIncContexts.Inc()

@@ -174,3 +174,69 @@ func TestIncrementalStatsPopulated(t *testing.T) {
 		t.Fatalf("unexpected context rebuilds: %+v", st)
 	}
 }
+
+// TestIncrementalGrowthCapRebuild shrinks the context growth caps until a
+// realistic stream must rebuild mid-flight, then pins the rebuild contract:
+// every verdict still matches the brute-force oracle, the rebuild counters
+// stay consistent (contexts = rebuilds + 1), and two identically-capped runs
+// are bit-identical — a rebuild resets the clause database but never the
+// deterministic function from query stream to results. This is the
+// regression net for the rebuild path re-establishing per-constraint
+// assumption/activation state (including phase pins) from scratch.
+func TestIncrementalGrowthCapRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(424242))
+	queries := prefixStream(r, 120, 8)
+
+	type outcome struct {
+		res   Result
+		model sx.Assignment
+	}
+	run := func() ([]outcome, Stats) {
+		s := New(Options{DisableCache: true, SolverMode: ModeIncremental})
+		ib := s.backend.(*incrementalBackend)
+		// Tiny caps: a single W8 comparison blasts tens of variables, so
+		// almost every deepening forces overLimit and a fresh context.
+		ib.maxLearned = 4
+		ib.maxVars = 64
+		outs := make([]outcome, 0, len(queries))
+		for i, pc := range queries {
+			want, _, feasible := OracleCheck(pc)
+			if !feasible {
+				t.Fatalf("query %d: oracle infeasible for pool", i)
+			}
+			res, model := s.CheckQuery(Query{PC: pc})
+			if res != want {
+				t.Fatalf("query %d (depth %d): capped incremental=%v oracle=%v pc=%v",
+					i, len(pc), res, want, pc)
+			}
+			if res == Sat {
+				for _, c := range pc {
+					if !sx.EvalBool(c, model) {
+						t.Fatalf("query %d: model %v violates %v", i, model, c)
+					}
+				}
+			}
+			outs = append(outs, outcome{res, model})
+		}
+		return outs, s.Stats()
+	}
+
+	a, aStats := run()
+	if aStats.IncRebuilds == 0 {
+		t.Fatalf("tiny caps never forced a rebuild: %+v", aStats)
+	}
+	if aStats.IncContexts != aStats.IncRebuilds+1 {
+		t.Fatalf("contexts=%d, want rebuilds+1=%d: %+v",
+			aStats.IncContexts, aStats.IncRebuilds+1, aStats)
+	}
+	b, bStats := run()
+	for i := range a {
+		if a[i].res != b[i].res || !sameModel(a[i].model, b[i].model) {
+			t.Fatalf("query %d diverged across identical capped runs: (%v, %v) vs (%v, %v)",
+				i, a[i].res, a[i].model, b[i].res, b[i].model)
+		}
+	}
+	if !reflect.DeepEqual(aStats, bStats) {
+		t.Fatalf("stats diverged across identical capped runs:\n  %+v\n  %+v", aStats, bStats)
+	}
+}

@@ -64,22 +64,29 @@ func ParseCacheMode(s string) (CacheMode, bool) {
 }
 
 // SolverMode selects the decision procedure behind the cache/persist front
-// end: the historical oneshot backend (fresh CNF per query) or the
+// end: the historical oneshot backend (fresh CNF per query), the
 // assumption-scoped incremental backend (one live Context per solver, see
-// incremental.go).
+// incremental.go), or the BDD fast path for boolean-dominated path
+// conditions with a CDCL fallback (see bdd.go).
 type SolverMode uint8
 
 // Solver modes. ModeOneshot is the default and preserves the historical
 // byte-exact behavior; ModeIncremental retains blasted CNF, trail prefixes
-// and learned clauses across the queries of one solver.
+// and learned clauses across the queries of one solver; ModeBDD conjoins
+// boolean skeletons into a reduced-ordered-BDD and bit-blasts only the
+// queries the diagram cannot decide.
 const (
 	ModeOneshot SolverMode = iota
 	ModeIncremental
+	ModeBDD
 )
 
 func (m SolverMode) String() string {
-	if m == ModeIncremental {
+	switch m {
+	case ModeIncremental:
 		return "incremental"
+	case ModeBDD:
+		return "bdd"
 	}
 	return "oneshot"
 }
@@ -91,6 +98,8 @@ func ParseSolverMode(s string) (SolverMode, bool) {
 		return ModeOneshot, true
 	case "incremental":
 		return ModeIncremental, true
+	case "bdd":
+		return ModeBDD, true
 	}
 	return ModeOneshot, false
 }
@@ -107,9 +116,9 @@ type Cost struct {
 // constant filter, slicing, canonicalization and every cache layer (exact,
 // subsume, persistent) compose in front of it unchanged; a Backend only sees
 // the queries that miss all of them. The oneshot backend receives canonical
-// constraint order; the incremental backend receives path order (root
-// first), which is what its prefix reuse keys off. A Backend is owned by one
-// Solver and shares its single-goroutine discipline.
+// constraint order; the incremental and bdd backends receive path order
+// (root first), which is what their prefix reuse keys off. A Backend is
+// owned by one Solver and shares its single-goroutine discipline.
 type Backend interface {
 	// Mode reports which SolverMode the backend implements.
 	Mode() SolverMode
@@ -128,8 +137,10 @@ type Options struct {
 	// Mode selects the cache lookup layers (exact only, or exact+subsume).
 	Mode CacheMode
 	// SolverMode selects the decision procedure behind the cache layers:
-	// ModeOneshot (default; fresh CNF per query) or ModeIncremental
-	// (assumption-scoped Context with trail and learned-clause retention).
+	// ModeOneshot (default; fresh CNF per query), ModeIncremental
+	// (assumption-scoped Context with trail and learned-clause retention),
+	// or ModeBDD (boolean-skeleton diagram with CDCL fallback; verdicts and
+	// models stay a pure function of each query, costs are stream-scoped).
 	// Incremental mode skips slicing — slicing rewrites the constraint
 	// sequence per query, destroying the path-prefix structure the Context
 	// reuses — and its models and propagation costs are a deterministic
@@ -213,6 +224,13 @@ type Stats struct {
 	IncAssumptions int64 // assumption literals allocated
 	IncLearnedKept int64 // learned clauses carried into a query, summed over queries
 	IncRebuilds    int64 // contexts discarded at the growth caps
+
+	// BDD-backend counters (zero outside bdd mode).
+	BDDNodes     int64 // unique diagram nodes created
+	BDDApplyHits int64 // ite memo-cache hits
+	BDDFallbacks int64 // queries decided by the CDCL fallback
+	BDDRebuilds  int64 // diagrams discarded (node cap or step overrun)
+	BDDReorders  int64 // diagram rebuilds forced by variable-order insertions
 }
 
 // Add folds another snapshot into s, field by field. It is the merge helper
@@ -235,6 +253,11 @@ func (s *Stats) Add(o Stats) {
 	s.IncAssumptions += o.IncAssumptions
 	s.IncLearnedKept += o.IncLearnedKept
 	s.IncRebuilds += o.IncRebuilds
+	s.BDDNodes += o.BDDNodes
+	s.BDDApplyHits += o.BDDApplyHits
+	s.BDDFallbacks += o.BDDFallbacks
+	s.BDDRebuilds += o.BDDRebuilds
+	s.BDDReorders += o.BDDReorders
 }
 
 // Solver decides conjunctions of width-1 bit-vector expressions.
@@ -264,6 +287,11 @@ type Solver struct {
 	mIncAssumptions *obs.Counter
 	mIncLearnedKept *obs.Counter
 	mIncRebuilds    *obs.Counter
+	mBDDNodes       *obs.Counter
+	mBDDApplyHits   *obs.Counter
+	mBDDFallbacks   *obs.Counter
+	mBDDRebuilds    *obs.Counter
+	mBDDReorders    *obs.Counter
 	hVirt           *obs.Histogram
 	hWall           *obs.Histogram
 	observing       bool
@@ -304,12 +332,22 @@ func New(opts Options) *Solver {
 			s.mIncLearnedKept = reg.Counter(obs.MSolverIncLearnedKept)
 			s.mIncRebuilds = reg.Counter(obs.MSolverIncRebuilds)
 		}
+		if opts.SolverMode == ModeBDD {
+			s.mBDDNodes = reg.Counter(obs.MSolverBDDNodes)
+			s.mBDDApplyHits = reg.Counter(obs.MSolverBDDApplyHits)
+			s.mBDDFallbacks = reg.Counter(obs.MSolverBDDFallbacks)
+			s.mBDDRebuilds = reg.Counter(obs.MSolverBDDRebuilds)
+			s.mBDDReorders = reg.Counter(obs.MSolverBDDReorders)
+		}
 		s.hVirt = reg.Histogram(obs.MSolverQueryVirt)
 		s.hWall = reg.Histogram(obs.MSolverQueryWall)
 	}
-	if opts.SolverMode == ModeIncremental {
+	switch opts.SolverMode {
+	case ModeIncremental:
 		s.backend = &incrementalBackend{s: s}
-	} else {
+	case ModeBDD:
+		s.backend = newBDDBackend(s)
+	default:
 		s.backend = oneshotBackend{}
 	}
 	s.tracer = opts.Tracer
@@ -466,6 +504,9 @@ func (s *Solver) CheckQuery(q Query) (Result, symexpr.Assignment) {
 func (s *Solver) check(q Query) (Result, symexpr.Assignment) {
 	s.stats.Queries++
 	incremental := s.opts.SolverMode == ModeIncremental
+	// Both stateful backends (incremental, bdd) key their prefix reuse off
+	// the path order, so both receive the uncanonicalized sequence.
+	pathOrder := incremental || s.opts.SolverMode == ModeBDD
 	// Constant-filter: drop constraints that are literally true; a literally
 	// false constraint decides the query immediately.
 	work := make([]*symexpr.Expr, 0, len(q.PC))
@@ -510,7 +551,7 @@ func (s *Solver) check(q Query) (Result, symexpr.Assignment) {
 	// solver ownership keeps deterministic.
 	backendInput := toSolve
 	var canon []*symexpr.Expr
-	if incremental {
+	if pathOrder {
 		canon = canonicalize(append([]*symexpr.Expr(nil), toSolve...))
 	} else {
 		canon = canonicalize(toSolve)
@@ -583,8 +624,11 @@ func (s *Solver) check(q Query) (Result, symexpr.Assignment) {
 	}
 
 	spanLayer := obs.SpanSolverBlast
-	if incremental {
+	switch s.opts.SolverMode {
+	case ModeIncremental:
 		spanLayer = obs.SpanSolverInc
+	case ModeBDD:
+		spanLayer = obs.SpanSolverBDD
 	}
 	bsp := s.spans.Start(spanLayer)
 	var res Result

@@ -1,0 +1,48 @@
+package symexpr
+
+// Boolean-skeleton classification for the solver's BDD fast path. A width-1
+// expression decomposes into propositional *connectives* (not/and/or/xor,
+// iff, if-then-else — all over width-1 operands) applied to *atoms*: the
+// maximal width-1 subexpressions that are not themselves connectives (boolean
+// input variables, comparisons over wider bit-vectors, ...). Treating each
+// distinct atom as an opaque propositional variable is a sound abstraction:
+// a propositionally unsatisfiable skeleton is unsatisfiable under any theory
+// interpretation of its atoms.
+
+// IsBoolConnective reports whether e is a propositional connective: a
+// width-1 node whose truth is a pure function of width-1 operands. Width-1
+// And/Or/Xor/Not are the usual connectives; Eq over width-1 operands is iff;
+// Ite with width-1 branches is a propositional conditional (its condition is
+// width 1 by construction).
+func IsBoolConnective(e *Expr) bool {
+	if e.Width() != W1 {
+		return false
+	}
+	switch e.Op() {
+	case OpAnd, OpOr, OpXor, OpNot:
+		return true
+	case OpEq:
+		return e.Child(0).Width() == W1
+	case OpIte:
+		return e.Child(1).Width() == W1
+	}
+	return false
+}
+
+// WalkBoolAtoms calls f for every atom of e's boolean skeleton, in
+// deterministic left-to-right syntactic order, possibly with repeats (hash
+// consing makes deduplication by pointer trivial for callers that need it).
+// Width-1 constants are part of the skeleton, not atoms, and are skipped.
+// e must have width 1.
+func WalkBoolAtoms(e *Expr, f func(atom *Expr)) {
+	if e.IsConst() {
+		return
+	}
+	if !IsBoolConnective(e) {
+		f(e)
+		return
+	}
+	for i := 0; i < e.NumChildren(); i++ {
+		WalkBoolAtoms(e.Child(i), f)
+	}
+}
